@@ -1,0 +1,58 @@
+// Figure 4: API importance of ioctl operation codes — 52 universal ops, a
+// declining band to rank 188, and a very long unused tail.
+
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/corpus/api_universe.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner("Figure 4: ioctl operation importance");
+  const auto& dataset = *bench::FullStudy().dataset;
+  const auto& ops = corpus::IoctlOps();
+
+  std::vector<core::ApiId> universe;
+  for (const auto& op : ops) {
+    universe.push_back(core::IoctlApi(op.code));
+  }
+  auto ranked = dataset.RankByImportance(core::ApiKind::kIoctlOp, universe);
+
+  PrintBanner(std::cout, "Importance at selected ranks");
+  TableWriter curve({"Rank", "Importance"});
+  for (size_t n : {1u, 26u, 52u, 80u, 120u, 188u, 240u, 280u, 400u, 635u}) {
+    curve.AddRow({std::to_string(n),
+                  bench::Pct(dataset.ApiImportance(ranked[n - 1]), 2)});
+  }
+  curve.Print(std::cout);
+
+  size_t at_100 = 0;
+  size_t above_1 = 0;
+  size_t used = 0;
+  for (const auto& api : ranked) {
+    double imp = dataset.ApiImportance(api);
+    at_100 += imp > 0.995 ? 1 : 0;
+    above_1 += imp > 0.01 ? 1 : 0;
+    used += imp > 0.0 ? 1 : 0;
+  }
+  PrintBanner(std::cout, "Tier counts");
+  TableWriter tiers({"Tier", "Paper", "Measured"});
+  tiers.AddRow({"Defined operations", "635", std::to_string(ops.size())});
+  tiers.AddRow({"Importance ~100%", "52", std::to_string(at_100)});
+  tiers.AddRow({"Importance > 1%", "188", std::to_string(above_1)});
+  tiers.AddRow({"Used by any binary", "280", std::to_string(used)});
+  tiers.Print(std::cout);
+
+  PrintBanner(std::cout, "Most important named operations");
+  TableWriter named({"Operation", "Code", "Importance"});
+  for (size_t i = 0; i < 12; ++i) {
+    char code[16];
+    std::snprintf(code, sizeof(code), "0x%x", ops[i].code);
+    named.AddRow({ops[i].name, code,
+                  bench::Pct(dataset.ApiImportance(
+                      core::IoctlApi(ops[i].code)))});
+  }
+  named.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 5: API importance ranking of fcntl and prctl operation codes.
+
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/corpus/api_universe.h"
+
+using namespace lapis;
+
+namespace {
+
+void PrintFamily(const char* title, const std::vector<corpus::OpSpec>& ops,
+                 core::ApiKind kind, const char* paper_100,
+                 const char* paper_note) {
+  const auto& dataset = *bench::FullStudy().dataset;
+  PrintBanner(std::cout, title);
+  TableWriter table({"Operation", "Importance"});
+  size_t at_100 = 0;
+  size_t above_20 = 0;
+  for (const auto& op : ops) {
+    double imp = dataset.ApiImportance(core::ApiId{kind, op.code});
+    at_100 += imp > 0.995 ? 1 : 0;
+    above_20 += imp > 0.20 ? 1 : 0;
+    table.AddRow({op.name, lapis::bench::Pct(imp)});
+  }
+  table.Print(std::cout);
+  std::printf("ops at ~100%%: %zu (paper: %s); ops above 20%%: %zu (%s)\n",
+              at_100, paper_100, above_20, paper_note);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintStudyBanner("Figure 5: fcntl and prctl opcode importance");
+  PrintFamily("fcntl operations (18 defined)", corpus::FcntlOps(),
+              core::ApiKind::kFcntlOp, "11 of 18", "paper: n/a");
+  PrintFamily("prctl operations (44 defined)", corpus::PrctlOps(),
+              core::ApiKind::kPrctlOp, "9 of 44", "paper: 18 of 44");
+  return 0;
+}

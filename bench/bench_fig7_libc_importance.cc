@@ -1,0 +1,59 @@
+// Figure 7: API importance distribution over GNU libc's exported functions.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/corpus/api_universe.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner("Figure 7: libc export importance distribution");
+  const auto& study = bench::FullStudy();
+  const auto& dataset = *study.dataset;
+
+  std::vector<double> importances;
+  for (const auto& spec : corpus::LibcUniverse()) {
+    uint32_t id = study.libc_interner.Find(spec.name);
+    importances.push_back(
+        id == UINT32_MAX
+            ? 0.0
+            : dataset.ApiImportance(core::ApiId{core::ApiKind::kLibcFn, id}));
+  }
+  std::sort(importances.rbegin(), importances.rend());
+
+  PrintBanner(std::cout, "Importance at N%-most-important ranks");
+  TableWriter curve({"Percentile of libc APIs", "Importance"});
+  for (int pct : {0, 10, 17, 33, 43, 50, 60, 67, 75, 84, 95, 99}) {
+    size_t index = static_cast<size_t>(
+        pct / 100.0 * static_cast<double>(importances.size() - 1));
+    curve.AddRow({std::to_string(pct) + "%",
+                  bench::Pct(importances[index], 2)});
+  }
+  curve.Print(std::cout);
+
+  size_t total = importances.size();
+  size_t at_100 = 0;
+  size_t below_50 = 0;
+  size_t below_1 = 0;
+  size_t unused = 0;
+  for (double imp : importances) {
+    at_100 += imp > 0.995 ? 1 : 0;
+    below_50 += imp < 0.50 ? 1 : 0;
+    below_1 += imp < 0.01 ? 1 : 0;
+    unused += imp == 0.0 ? 1 : 0;
+  }
+  PrintBanner(std::cout, "Distribution summary");
+  TableWriter tiers({"Band", "Paper", "Measured"});
+  tiers.AddRow({"Total exported functions", "1,274", std::to_string(total)});
+  tiers.AddRow({"Importance ~100%", "42.8%",
+                bench::Pct(static_cast<double>(at_100) / total)});
+  tiers.AddRow({"Importance < 50%", "50.6%",
+                bench::Pct(static_cast<double>(below_50) / total)});
+  tiers.AddRow({"Importance < 1%", "39.7%",
+                bench::Pct(static_cast<double>(below_1) / total)});
+  tiers.AddRow({"Never used (§6)", "222", std::to_string(unused)});
+  tiers.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 8: unweighted API importance (fraction of packages) of the
+// N-most-important syscalls.
+
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/corpus/syscall_table.h"
+#include "src/corpus/system_profiles.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner("Figure 8: unweighted syscall importance");
+  const auto& dataset = *bench::FullStudy().dataset;
+  auto ranked = dataset.RankByUnweightedImportance(
+      core::ApiKind::kSyscall, corpus::FullSyscallUniverse());
+
+  PrintBanner(std::cout, "Unweighted importance at selected ranks");
+  TableWriter curve({"N-most important", "Syscall", "Share of packages"});
+  for (size_t n : {1u, 40u, 60u, 90u, 130u, 160u, 200u, 250u, 320u}) {
+    const auto& api = ranked[n - 1];
+    curve.AddRow({std::to_string(n),
+                  std::string(corpus::SyscallName(static_cast<int>(api.code))),
+                  bench::Pct(dataset.UnweightedImportance(api))});
+  }
+  curve.Print(std::cout);
+
+  size_t used_by_nearly_all = 0;
+  size_t above_10 = 0;
+  for (const auto& api : ranked) {
+    double u = dataset.UnweightedImportance(api);
+    used_by_nearly_all += u > 0.90 ? 1 : 0;
+    above_10 += u > 0.10 ? 1 : 0;
+  }
+  PrintBanner(std::cout, "Tier counts");
+  TableWriter tiers({"Tier", "Paper", "Measured"});
+  tiers.AddRow({"Used by ~all packages", "40", std::to_string(used_by_nearly_all)});
+  tiers.AddRow({"Used by >= 10% of packages", "130", std::to_string(above_10)});
+  tiers.Print(std::cout);
+  return 0;
+}

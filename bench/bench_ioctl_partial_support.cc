@@ -1,0 +1,57 @@
+// §2 claim: "a system with 'partial support' for ioctl is just as likely to
+// support all or none of the Linux applications distributed with Ubuntu."
+//
+// Sweep: a hypothetical system supports every syscall but only the K most
+// important ioctl opcodes. Weighted completeness stays near zero until the
+// 52-opcode universal block is complete, then jumps — supporting the
+// paper's argument that vectored system calls cannot be half-implemented.
+
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/core/completeness.h"
+#include "src/corpus/api_universe.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner(
+      "§2: weighted completeness vs partial ioctl support");
+  const auto& dataset = *bench::FullStudy().dataset;
+
+  std::vector<core::ApiId> universe;
+  for (const auto& op : corpus::IoctlOps()) {
+    universe.push_back(core::IoctlApi(op.code));
+  }
+  auto ranked = dataset.RankByImportance(core::ApiKind::kIoctlOp, universe);
+
+  core::CompletenessOptions options;
+  options.evaluated_kinds = {core::ApiKind::kIoctlOp};
+
+  TableWriter table({"ioctl ops supported", "Weighted completeness"});
+  std::set<core::ApiId> supported;
+  size_t next_checkpoint = 0;
+  const size_t checkpoints[] = {0,  1,   2,   5,   10,  20,  40,  47,
+                                51, 52,  60,  100, 188, 280, 635};
+  for (size_t k = 0; k <= ranked.size(); ++k) {
+    if (next_checkpoint < sizeof(checkpoints) / sizeof(checkpoints[0]) &&
+        k == checkpoints[next_checkpoint]) {
+      table.AddRow({std::to_string(k),
+                    bench::Pct(core::WeightedCompleteness(dataset, supported,
+                                                          options))});
+      ++next_checkpoint;
+    }
+    if (k < ranked.size()) {
+      supported.insert(ranked[k]);
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nreading: without the TTY/generic-IO block nearly every package\n"
+      "breaks (only ioctl-free packages survive at K=0); completeness jumps\n"
+      "as the universal block completes at 52 opcodes, and the remaining\n"
+      "580+ defined opcodes contribute almost nothing -- supporting the\n"
+      "paper's point that 'partial ioctl support' is all-or-nothing for\n"
+      "most applications.\n");
+  return 0;
+}

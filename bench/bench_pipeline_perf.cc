@@ -1,0 +1,181 @@
+// Pipeline micro-benchmarks (google-benchmark): disassembly throughput,
+// per-binary analysis, cross-library resolution, metric computation, and
+// the db-backed aggregation path.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/analysis/binary_analyzer.h"
+#include "src/analysis/library_resolver.h"
+#include "src/core/completeness.h"
+#include "src/corpus/binary_synth.h"
+#include "src/corpus/distro_spec.h"
+#include "src/corpus/study_runner.h"
+#include "src/corpus/syscall_table.h"
+#include "src/corpus/system_profiles.h"
+#include "src/db/transitive_closure.h"
+#include "src/disasm/decoder.h"
+#include "src/elf/elf_reader.h"
+
+namespace lapis {
+namespace {
+
+const corpus::DistroSpec& Spec() {
+  static const corpus::DistroSpec* spec = [] {
+    corpus::DistroOptions options;
+    options.app_package_count = 500;
+    options.script_package_count = 50;
+    options.data_package_count = 10;
+    return new corpus::DistroSpec(
+        corpus::BuildDistroSpec(options).take());
+  }();
+  return *spec;
+}
+
+const std::vector<uint8_t>& LibcBytes() {
+  static const std::vector<uint8_t>* bytes = [] {
+    corpus::DistroSynthesizer synthesizer(Spec());
+    auto libs = synthesizer.CoreLibraries().take();
+    return new std::vector<uint8_t>(std::move(libs.back().bytes));
+  }();
+  return *bytes;
+}
+
+void BM_DisassembleLibcText(benchmark::State& state) {
+  auto image = elf::ElfReader::Parse(LibcBytes()).take();
+  const auto* text = image.FindSection(".text");
+  for (auto _ : state) {
+    auto sweep = disasm::LinearSweep(text->data, text->addr);
+    benchmark::DoNotOptimize(sweep.insns.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text->size));
+}
+BENCHMARK(BM_DisassembleLibcText);
+
+void BM_ParseLibcElf(benchmark::State& state) {
+  for (auto _ : state) {
+    auto image = elf::ElfReader::Parse(LibcBytes());
+    benchmark::DoNotOptimize(image.ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(LibcBytes().size()));
+}
+BENCHMARK(BM_ParseLibcElf);
+
+void BM_AnalyzeLibc(benchmark::State& state) {
+  auto image = elf::ElfReader::Parse(LibcBytes()).take();
+  for (auto _ : state) {
+    auto analysis = analysis::BinaryAnalyzer::Analyze(image);
+    benchmark::DoNotOptimize(analysis.ok());
+  }
+}
+BENCHMARK(BM_AnalyzeLibc);
+
+void BM_SynthesizeAndAnalyzePackage(benchmark::State& state) {
+  corpus::DistroSynthesizer synthesizer(Spec());
+  size_t coreutils = Spec().by_name.at("coreutils");
+  for (auto _ : state) {
+    auto binaries = synthesizer.PackageBinaries(coreutils).take();
+    for (const auto& binary : binaries) {
+      auto image = elf::ElfReader::Parse(binary.bytes).take();
+      auto analysis = analysis::BinaryAnalyzer::Analyze(image);
+      benchmark::DoNotOptimize(analysis.ok());
+    }
+  }
+}
+BENCHMARK(BM_SynthesizeAndAnalyzePackage);
+
+const corpus::StudyResult& PerfStudy() {
+  static const corpus::StudyResult* study = [] {
+    corpus::StudyOptions options;
+    options.distro.app_package_count = 500;
+    options.distro.script_package_count = 50;
+    options.distro.data_package_count = 10;
+    options.distro.installation_count = 20000;
+    return new corpus::StudyResult(corpus::RunStudy(options).take());
+  }();
+  return *study;
+}
+
+void BM_ApiImportanceAllSyscalls(benchmark::State& state) {
+  const auto& dataset = *PerfStudy().dataset;
+  for (auto _ : state) {
+    double total = 0;
+    for (int nr = 0; nr < corpus::kSyscallCount; ++nr) {
+      total += dataset.ApiImportance(
+          core::SyscallApi(static_cast<uint32_t>(nr)));
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_ApiImportanceAllSyscalls);
+
+void BM_WeightedCompleteness(benchmark::State& state) {
+  const auto& dataset = *PerfStudy().dataset;
+  auto ranked = dataset.RankByImportance(core::ApiKind::kSyscall);
+  std::set<core::ApiId> supported(ranked.begin(),
+                                  ranked.begin() + ranked.size() / 2);
+  core::CompletenessOptions options;
+  options.evaluated_kinds = {core::ApiKind::kSyscall};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::WeightedCompleteness(dataset, supported, options));
+  }
+}
+BENCHMARK(BM_WeightedCompleteness);
+
+void BM_GreedyCompletenessPath(benchmark::State& state) {
+  const auto& dataset = *PerfStudy().dataset;
+  for (auto _ : state) {
+    auto path = core::GreedyCompletenessPath(
+        dataset, core::ApiKind::kSyscall, corpus::FullSyscallUniverse());
+    benchmark::DoNotOptimize(path.size());
+  }
+}
+BENCHMARK(BM_GreedyCompletenessPath);
+
+void BM_DbTransitiveAggregation(benchmark::State& state) {
+  const auto& dataset = *PerfStudy().dataset;
+  for (auto _ : state) {
+    db::TransitiveAggregator aggregator(
+        static_cast<uint32_t>(dataset.package_count()));
+    for (uint32_t pkg = 0; pkg < dataset.package_count(); ++pkg) {
+      for (const auto& api : dataset.Footprint(pkg)) {
+        (void)aggregator.AddFact(pkg, api.Encode());
+      }
+      for (uint32_t dep : dataset.DependencyClosure(pkg)) {
+        if (dep != pkg) {
+          (void)aggregator.AddEdge(pkg, dep);
+        }
+      }
+    }
+    auto closure = aggregator.Aggregate();
+    benchmark::DoNotOptimize(closure.size());
+  }
+}
+BENCHMARK(BM_DbTransitiveAggregation);
+
+void BM_PopconSimulation(benchmark::State& state) {
+  const auto& spec = Spec();
+  corpus::DistroSynthesizer synthesizer(spec);
+  auto repo = synthesizer.BuildRepository().take();
+  std::vector<double> marginals;
+  for (const auto& plan : spec.packages) {
+    marginals.push_back(plan.target_marginal);
+  }
+  package::PopconOptions options;
+  options.installation_count = 5000;
+  for (auto _ : state) {
+    auto survey = package::PopconSimulator::Run(repo, marginals, options);
+    benchmark::DoNotOptimize(survey.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 5000);
+}
+BENCHMARK(BM_PopconSimulation);
+
+}  // namespace
+}  // namespace lapis
+
+BENCHMARK_MAIN();

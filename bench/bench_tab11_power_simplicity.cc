@@ -1,0 +1,35 @@
+// Table 11: powerful vs simple API variants (unweighted importance).
+
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/corpus/syscall_table.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner(
+      "Table 11: powerful vs simple variants (unweighted)");
+  const auto& dataset = *bench::FullStudy().dataset;
+
+  TableWriter table({"Powerful variant", "Measured", "Simple variant",
+                     "Measured"});
+  for (const auto& pair : corpus::VariantPairs()) {
+    if (pair.table != corpus::VariantTable::kPowerSimplicity) {
+      continue;
+    }
+    table.AddRow({std::string(pair.left_label),
+                  bench::Pct(dataset.UnweightedImportance(core::SyscallApi(
+                                 static_cast<uint32_t>(pair.left_nr))),
+                             2),
+                  std::string(pair.right_label),
+                  bench::Pct(dataset.UnweightedImportance(core::SyscallApi(
+                                 static_cast<uint32_t>(pair.right_nr))),
+                             2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper: developers choose simplicity unless a task demands the\n"
+      "more powerful variant (select over pselect6, dup2 over dup3).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Table 2: system calls whose usage is dominated by one or two packages.
+
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/corpus/syscall_table.h"
+#include "src/util/strings.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner("Table 2: syscalls dominated by specific packages");
+  const auto& study = bench::FullStudy();
+  const auto& dataset = *study.dataset;
+
+  TableWriter table({"System call", "Paper imp.", "Measured imp.",
+                     "Measured dependents"});
+  struct Row {
+    const char* name;
+    const char* paper;
+  } rows[] = {
+      {"seccomp", "1%"},       {"sched_setattr", "1%"},
+      {"sched_getattr", "1%"}, {"kexec_load", "1%"},
+      {"clock_adjtime", "4%"}, {"renameat2", "4%"},
+      {"mq_timedsend", "1%"},  {"mq_getsetattr", "1%"},
+      {"io_getevents", "1%"},  {"getcpu", "4%"},
+  };
+  for (const auto& row : rows) {
+    int nr = *corpus::SyscallNumber(row.name);
+    core::ApiId api = core::SyscallApi(static_cast<uint32_t>(nr));
+    std::vector<std::string> dependents;
+    for (core::PackageId pkg : dataset.Dependents(api)) {
+      dependents.push_back(dataset.PackageName(pkg));
+      if (dependents.size() >= 3) {
+        break;
+      }
+    }
+    table.AddRow({row.name, row.paper,
+                  bench::Pct(dataset.ApiImportance(api)),
+                  Join(dependents, ", ")});
+  }
+  table.Print(std::cout);
+  return 0;
+}

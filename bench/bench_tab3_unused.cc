@@ -1,0 +1,35 @@
+// Table 3: the 18 unused system calls, and the retired-but-still-attempted
+// group from §3.1.
+
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/corpus/syscall_table.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner("Table 3: unused system calls");
+  const auto& dataset = *bench::FullStudy().dataset;
+
+  TableWriter table({"System call", "Measured importance",
+                     "Measured dependents"});
+  for (int nr : corpus::UnusedSyscalls()) {
+    core::ApiId api = core::SyscallApi(static_cast<uint32_t>(nr));
+    table.AddRow({std::string(corpus::SyscallName(nr)),
+                  bench::Pct(dataset.ApiImportance(api)),
+                  std::to_string(dataset.Dependents(api).size())});
+  }
+  table.Print(std::cout);
+
+  PrintBanner(std::cout,
+              "Officially retired but still attempted (nonzero importance)");
+  TableWriter retired({"System call", "Measured importance"});
+  for (int nr : corpus::RetiredButAttemptedSyscalls()) {
+    retired.AddRow({std::string(corpus::SyscallName(nr)),
+                    bench::Pct(dataset.ApiImportance(
+                        core::SyscallApi(static_cast<uint32_t>(nr))))});
+  }
+  retired.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 4: the five recommended implementation stages along the greedy
+// path, with sample syscalls per stage.
+
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/core/completeness.h"
+#include "src/corpus/syscall_table.h"
+#include "src/corpus/system_profiles.h"
+#include "src/util/strings.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner("Table 4: five stages of syscall implementation");
+  const auto& dataset = *bench::FullStudy().dataset;
+  auto path = core::GreedyCompletenessPath(dataset, core::ApiKind::kSyscall,
+                                           corpus::FullSyscallUniverse());
+  // Program-less (data-only) packages are always supported; measure the
+  // stages above that floor.
+  auto stages = core::DecomposeStages(
+      path, {0.01, 0.10, 0.50, 0.90, 1.00},
+      path.front().weighted_completeness);
+
+  struct PaperRow {
+    const char* stage;
+    const char* count;
+    const char* completeness;
+  } paper[] = {
+      {"I", "40", "1.12%"},   {"II", "+41 (81)", "10.68%"},
+      {"III", "+64 (145)", "50.09%"}, {"IV", "+57 (202)", "90.61%"},
+      {"V", "+70 (272)", "100%"},
+  };
+
+  TableWriter table({"Stage", "Paper #", "Paper W.Comp.", "Measured #",
+                     "Measured W.Comp.", "Sample syscalls"});
+  size_t previous = 0;
+  for (size_t i = 0; i < stages.size() && i < 5; ++i) {
+    const auto& stage = stages[i];
+    std::vector<std::string> samples;
+    for (size_t n = previous; n < stage.cumulative_apis && samples.size() < 5;
+         n += std::max<size_t>(1, (stage.cumulative_apis - previous) / 5)) {
+      samples.push_back(std::string(
+          corpus::SyscallName(static_cast<int>(path[n].api.code))));
+    }
+    char measured_count[32];
+    std::snprintf(measured_count, sizeof(measured_count), "+%zu (%zu)",
+                  stage.cumulative_apis - previous, stage.cumulative_apis);
+    table.AddRow({paper[i].stage, paper[i].count, paper[i].completeness,
+                  measured_count, bench::Pct(stage.weighted_completeness),
+                  Join(samples, ", ")});
+    previous = stage.cumulative_apis;
+  }
+  table.Print(std::cout);
+  return 0;
+}

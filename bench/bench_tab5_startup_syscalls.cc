@@ -1,0 +1,46 @@
+// Table 5: ubiquitous syscalls from libc-family initialization, attributed
+// to the core library whose code issues them.
+
+#include <iostream>
+#include <map>
+
+#include "bench/study_fixture.h"
+#include "src/corpus/binary_synth.h"
+#include "src/corpus/syscall_table.h"
+#include "src/util/strings.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner("Table 5: startup syscalls by core library");
+  const auto& study = bench::FullStudy();
+  const auto& dataset = *study.dataset;
+
+  // Invert: for each startup syscall, which core libraries contain direct
+  // call sites (measured from the binaries, not the plan).
+  TableWriter table({"System call", "Importance",
+                     "Core libraries with call sites (measured)"});
+  for (int nr : corpus::StartupSyscalls()) {
+    std::vector<std::string> libs;
+    auto it = study.syscall_site_binaries.find(nr);
+    if (it != study.syscall_site_binaries.end()) {
+      for (const char* core_lib :
+           {corpus::kLibcSoname, corpus::kLdSoname, corpus::kPthreadSoname,
+            corpus::kRtSoname}) {
+        if (it->second.count(core_lib) != 0) {
+          libs.push_back(core_lib);
+        }
+      }
+    }
+    table.AddRow({std::string(corpus::SyscallName(nr)),
+                  bench::Pct(dataset.ApiImportance(
+                      core::SyscallApi(static_cast<uint32_t>(nr)))),
+                  Join(libs, ", ")});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper: every dynamically-linked executable needs these ~40 calls\n"
+      "before main() runs; libc and the dynamic linker alone give many\n"
+      "syscalls a first-order importance boost.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table 6: weighted completeness of Linux systems and emulation layers,
+// with suggested APIs to add.
+
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/core/systems.h"
+#include "src/corpus/syscall_table.h"
+#include "src/corpus/system_profiles.h"
+#include "src/util/strings.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner("Table 6: Linux systems / emulation layers");
+  const auto& dataset = *bench::FullStudy().dataset;
+
+  TableWriter table({"System", "#", "Paper W.Comp.", "Measured W.Comp.",
+                     "Suggested APIs to add (measured)"});
+  for (const auto& plan : corpus::LinuxSystemPlans()) {
+    auto profile = corpus::BuildSystemProfile(dataset, plan);
+    auto eval = core::EvaluateSystem(dataset, profile);
+    std::vector<std::string> suggested;
+    for (const auto& api : eval.suggested) {
+      suggested.push_back(std::string(
+          corpus::SyscallName(static_cast<int>(api.code))));
+    }
+    table.AddRow({plan.name, std::to_string(eval.supported_count),
+                  bench::Pct(plan.paper_completeness, 2),
+                  bench::Pct(eval.weighted_completeness, 2),
+                  Join(suggested, ", ")});
+  }
+  table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 7: weighted completeness of libc variants against GNU libc, raw and
+// after reversing compile-time symbol replacement (__printf_chk -> printf).
+
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/core/libc_analysis.h"
+#include "src/corpus/system_profiles.h"
+#include "src/util/strings.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner("Table 7: libc variant compatibility");
+  const auto& study = bench::FullStudy();
+  const auto& dataset = *study.dataset;
+
+  TableWriter table({"Variant", "# exported", "Paper W.Comp.",
+                     "Measured W.Comp.", "Paper norm.", "Measured norm.",
+                     "Top missing (measured)"});
+  for (const auto& plan : corpus::LibcVariantPlans()) {
+    auto profile = corpus::BuildLibcVariantProfile(plan, study.libc_interner);
+    auto eval = core::EvaluateLibcVariant(dataset, profile);
+    std::vector<std::string> missing;
+    for (uint32_t id : eval.top_missing) {
+      missing.push_back(study.libc_interner.NameOf(id));
+      if (missing.size() >= 3) {
+        break;
+      }
+    }
+    table.AddRow({plan.name, std::to_string(eval.exported_count),
+                  bench::Pct(plan.paper_completeness, 1),
+                  bench::Pct(eval.weighted_completeness, 1),
+                  bench::Pct(plan.paper_normalized_completeness, 1),
+                  bench::Pct(eval.normalized_weighted_completeness, 1),
+                  Join(missing, ", ")});
+  }
+  table.Print(std::cout);
+  return 0;
+}

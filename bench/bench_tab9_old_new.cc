@@ -1,0 +1,34 @@
+// Table 9: unweighted importance of old (deprecated) vs new (preferred)
+// API variants.
+
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/corpus/syscall_table.h"
+
+using namespace lapis;
+
+int main() {
+  bench::PrintStudyBanner("Table 9: old vs new API variants (unweighted)");
+  const auto& dataset = *bench::FullStudy().dataset;
+
+  TableWriter table({"Old API", "Measured", "New API", "Measured"});
+  for (const auto& pair : corpus::VariantPairs()) {
+    if (pair.table != corpus::VariantTable::kOldNew) {
+      continue;
+    }
+    table.AddRow({std::string(pair.left_label),
+                  bench::Pct(dataset.UnweightedImportance(core::SyscallApi(
+                                 static_cast<uint32_t>(pair.left_nr))),
+                             2),
+                  std::string(pair.right_label),
+                  bench::Pct(dataset.UnweightedImportance(core::SyscallApi(
+                                 static_cast<uint32_t>(pair.right_nr))),
+                             2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper: adoption of preferred variants is slow -- 60%% of packages\n"
+      "still call wait4 although waitid is preferred (0.24%%).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "bench/study_fixture.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/strings.h"
+
+namespace lapis::bench {
+
+namespace {
+
+double g_study_seconds = 0.0;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+}  // namespace
+
+corpus::StudyOptions BenchStudyOptions() {
+  corpus::StudyOptions options;
+  options.distro.app_package_count = EnvSize("LAPIS_BENCH_APPS", 3000);
+  options.distro.installation_count =
+      EnvSize("LAPIS_BENCH_INSTALLS", 100000);
+  options.popcon_retain_samples = EnvSize("LAPIS_BENCH_SAMPLES", 0);
+  return options;
+}
+
+const corpus::StudyResult& FullStudy() {
+  static const corpus::StudyResult* study = [] {
+    auto start = std::chrono::steady_clock::now();
+    auto result = corpus::RunStudy(BenchStudyOptions());
+    auto end = std::chrono::steady_clock::now();
+    g_study_seconds = std::chrono::duration<double>(end - start).count();
+    if (!result.ok()) {
+      std::fprintf(stderr, "study generation failed: %s\n",
+                   result.status().ToString().c_str());
+      std::abort();
+    }
+    return new corpus::StudyResult(result.take());
+  }();
+  return *study;
+}
+
+void PrintStudyBanner(const std::string& title) {
+  const auto& study = FullStudy();
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+  std::printf(
+      "synthetic distribution: %zu packages, %zu ELF binaries analyzed "
+      "(%.1fs), %s simulated installations, ground-truth mismatches: %zu\n\n",
+      study.spec.packages.size(), study.analyzed_binaries, g_study_seconds,
+      FormatWithCommas(study.survey.total_reporting).c_str(),
+      study.ground_truth_mismatches);
+}
+
+std::string Pct(double fraction, int decimals) {
+  return FormatPercent(fraction, decimals);
+}
+
+}  // namespace lapis::bench

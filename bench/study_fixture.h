@@ -1,0 +1,30 @@
+// Shared fixture for the figure/table benches: one full-scale study per
+// process (3,000 app packages, 100k simulated installations), plus common
+// printing helpers for "paper vs measured" rows.
+
+#ifndef LAPIS_BENCH_STUDY_FIXTURE_H_
+#define LAPIS_BENCH_STUDY_FIXTURE_H_
+
+#include <string>
+
+#include "src/corpus/study_runner.h"
+#include "src/util/table_writer.h"
+
+namespace lapis::bench {
+
+// Options used by every figure/table bench. Honors LAPIS_BENCH_APPS /
+// LAPIS_BENCH_INSTALLS environment overrides for quick runs.
+corpus::StudyOptions BenchStudyOptions();
+
+// Lazily-built full-scale study (cached for the process lifetime).
+const corpus::StudyResult& FullStudy();
+
+// Prints the standard bench header: corpus scale, analysis stats, runtime.
+void PrintStudyBanner(const std::string& title);
+
+// "93.1%" / "0.42%" formatting for completeness values.
+std::string Pct(double fraction, int decimals = 1);
+
+}  // namespace lapis::bench
+
+#endif  // LAPIS_BENCH_STUDY_FIXTURE_H_

@@ -1,0 +1,107 @@
+// Scenario: a kernel maintainer wants to retire a system call (§1, §6:
+// "evaluate the impact of a change that affects backward-compatibility").
+// For each candidate, report API importance, the packages that would break,
+// and whether the call sites are concentrated in a library (cheap to fix)
+// or scattered across applications (expensive).
+//
+// Usage:
+//   ./build/examples/deprecation_impact [syscall ...]
+//   (default: a mix of deprecation candidates from the paper)
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "src/corpus/study_runner.h"
+#include "src/corpus/syscall_table.h"
+#include "src/util/strings.h"
+#include "src/util/table_writer.h"
+
+using namespace lapis;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> candidates;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      candidates.push_back(argv[i]);
+    }
+  } else {
+    candidates = {"remap_file_pages", "mq_notify",  "uselib",
+                  "nfsservctl",       "kexec_load", "mbind",
+                  "access",           "getdents"};
+  }
+
+  std::printf("building corpus and analyzing binaries...\n");
+  corpus::StudyOptions options;
+  options.distro.app_package_count = 1500;
+  options.distro.installation_count = 40000;
+  auto study = corpus::RunStudy(options);
+  if (!study.ok()) {
+    std::fprintf(stderr, "study failed: %s\n",
+                 study.status().ToString().c_str());
+    return 1;
+  }
+  const auto& result = study.value();
+  const auto& dataset = *result.dataset;
+
+  TableWriter table({"System call", "Importance", "Affected pkgs",
+                     "Call-site binaries", "Verdict"});
+  for (const auto& name : candidates) {
+    auto nr = corpus::SyscallNumber(name);
+    if (!nr.has_value()) {
+      std::fprintf(stderr, "unknown syscall: %s\n", name.c_str());
+      continue;
+    }
+    core::ApiId api = core::SyscallApi(static_cast<uint32_t>(*nr));
+    double importance = dataset.ApiImportance(api);
+    size_t dependents = dataset.Dependents(api).size();
+
+    size_t sites = 0;
+    bool library_only = true;
+    auto it = result.syscall_site_binaries.find(*nr);
+    if (it != result.syscall_site_binaries.end()) {
+      sites = it->second.size();
+      for (const auto& binary : it->second) {
+        if (binary.find(".so") == std::string::npos) {
+          library_only = false;
+        }
+      }
+    }
+    const char* verdict;
+    if (dependents == 0) {
+      verdict = "retire now (unused)";
+    } else if (importance < 0.10 && sites <= 3) {
+      verdict = "retire after contacting owners";
+    } else if (library_only) {
+      verdict = "library-only: patch libc and retire";
+    } else {
+      verdict = "keep (widely used)";
+    }
+    table.AddRow({name, FormatPercent(importance, 2),
+                  std::to_string(dependents), std::to_string(sites),
+                  verdict});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nfor 'retire after contacting owners' rows, the affected packages "
+      "are:\n");
+  for (const auto& name : candidates) {
+    auto nr = corpus::SyscallNumber(name);
+    if (!nr.has_value()) {
+      continue;
+    }
+    core::ApiId api = core::SyscallApi(static_cast<uint32_t>(*nr));
+    const auto& dependents = dataset.Dependents(api);
+    if (dependents.empty() || dependents.size() > 4 ||
+        dataset.ApiImportance(api) >= 0.10) {
+      continue;
+    }
+    std::printf("  %-18s ->", name.c_str());
+    for (core::PackageId pkg : dependents) {
+      std::printf(" %s", dataset.PackageName(pkg).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Export the study's dataset artifacts as TSV files (the paper publishes
+// its dataset for further analysis; these are the lapis equivalents).
+//
+// Usage:
+//   ./build/examples/export_dataset [output-directory]   (default: .)
+//
+// Produces:
+//   api_importance.tsv   one row per API with both importance metrics
+//   packages.tsv         one row per package with survey + footprint stats
+//   footprints.tsv       the raw (package, API) relation
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/core/report.h"
+#include "src/corpus/study_runner.h"
+
+using namespace lapis;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : ".";
+  std::printf("running the study pipeline...\n");
+  corpus::StudyOptions options;
+  options.distro.app_package_count = 1500;
+  options.distro.installation_count = 40000;
+  auto study = corpus::RunStudy(options);
+  if (!study.ok()) {
+    std::fprintf(stderr, "study failed: %s\n",
+                 study.status().ToString().c_str());
+    return 1;
+  }
+  const auto& result = study.value();
+
+  {
+    std::ofstream os(dir + "/api_importance.tsv");
+    auto status = core::ExportImportanceTsv(
+        *result.dataset,
+        {core::ApiKind::kSyscall, core::ApiKind::kIoctlOp,
+         core::ApiKind::kFcntlOp, core::ApiKind::kPrctlOp,
+         core::ApiKind::kPseudoFile, core::ApiKind::kLibcFn},
+        result.path_interner, result.libc_interner, os);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  {
+    std::ofstream os(dir + "/packages.tsv");
+    auto status = core::ExportPackagesTsv(*result.dataset, os);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  {
+    std::ofstream os(dir + "/footprints.tsv");
+    auto status = core::ExportFootprintsTsv(*result.dataset,
+                                            result.path_interner,
+                                            result.libc_interner, os);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %s/api_importance.tsv, packages.tsv, footprints.tsv\n",
+              dir.c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Scenario: automatic seccomp-policy generation (§6). The per-application
+// system-call footprint recovered by static analysis is exactly a seccomp
+// allowlist: anything outside it can be denied, shrinking the kernel attack
+// surface if the application is compromised.
+//
+// Usage:
+//   ./build/examples/seccomp_profile [package-name]   (default: qemu-user)
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/seccomp.h"
+#include "src/corpus/study_runner.h"
+#include "src/corpus/syscall_table.h"
+
+using namespace lapis;
+
+int main(int argc, char** argv) {
+  std::string target = argc > 1 ? argv[1] : "qemu-user";
+  std::printf("building corpus and analyzing binaries...\n");
+  corpus::StudyOptions options;
+  options.distro.app_package_count = 1000;
+  options.distro.installation_count = 20000;
+  auto study = corpus::RunStudy(options);
+  if (!study.ok()) {
+    std::fprintf(stderr, "study failed: %s\n",
+                 study.status().ToString().c_str());
+    return 1;
+  }
+  const auto& dataset = *study.value().dataset;
+  auto pkg = dataset.FindPackage(target);
+  if (pkg == UINT32_MAX) {
+    std::fprintf(stderr,
+                 "unknown package '%s' (try qemu-user, coreutils, "
+                 "kexec-tools, libnuma, app-0001...)\n",
+                 target.c_str());
+    return 1;
+  }
+
+  auto policy = core::GeneratePolicy(dataset, pkg);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s", core::Render(policy.value(), [](uint32_t nr) {
+                return std::string(
+                    corpus::SyscallName(static_cast<int>(nr)));
+              }).c_str());
+  std::printf("\n%zu of 320 syscalls allowed; %zu denied.\n",
+              policy.value().allowed.size(),
+              core::DeniedCount(policy.value(), 320));
+
+  auto uniq = dataset.ComputeFootprintUniqueness();
+  std::printf(
+      "\nfootprints double as identifiers: %zu of %zu analyzed packages "
+      "have a\nglobally unique footprint (paper: 9,133 of 31,433).\n",
+      uniq.unique, uniq.packages_with_footprint);
+  return 0;
+}

@@ -1,0 +1,307 @@
+#include "src/analysis/binary_analyzer.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/disasm/decoder.h"
+#include "src/util/strings.h"
+
+namespace lapis::analysis {
+
+namespace {
+
+using disasm::Insn;
+using disasm::InsnKind;
+
+// Abstract value for one register along straight-line code.
+struct AbsVal {
+  enum class Kind : uint8_t { kUnknown, kConst, kRodataPtr };
+  Kind kind = Kind::kUnknown;
+  int64_t value = 0;
+};
+
+struct RegState {
+  AbsVal regs[16];
+
+  void Reset() {
+    for (auto& r : regs) {
+      r = AbsVal{};
+    }
+  }
+
+  void ClobberCallerSaved() {
+    // System V AMD64: rax, rcx, rdx, rsi, rdi, r8-r11 are caller-saved.
+    static constexpr uint8_t kVolatile[] = {0, 1, 2, 6, 7, 8, 9, 10, 11};
+    for (uint8_t r : kVolatile) {
+      regs[r] = AbsVal{};
+    }
+  }
+};
+
+// Reads the NUL-terminated string at `vaddr` from the image, if printable.
+std::optional<std::string> ReadStringAt(const elf::ElfImage& image,
+                                        uint64_t vaddr) {
+  auto s = image.CStringAtVaddr(vaddr);
+  if (s.has_value() && lapis::IsPrintableAscii(*s)) {
+    return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+const FunctionInfo* BinaryAnalysis::FunctionAt(uint64_t vaddr) const {
+  auto it = by_vaddr_.find(vaddr);
+  if (it == by_vaddr_.end()) {
+    return nullptr;
+  }
+  return &functions_[it->second];
+}
+
+const FunctionInfo* BinaryAnalysis::FunctionNamed(std::string_view name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return nullptr;
+  }
+  return &functions_[it->second];
+}
+
+BinaryAnalysis::ReachableResult BinaryAnalysis::Reachable(
+    const std::vector<uint64_t>& roots) const {
+  ReachableResult result;
+  std::set<uint64_t> visited;
+  std::deque<uint64_t> queue(roots.begin(), roots.end());
+  while (!queue.empty()) {
+    uint64_t vaddr = queue.front();
+    queue.pop_front();
+    if (!visited.insert(vaddr).second) {
+      continue;
+    }
+    const FunctionInfo* fn = FunctionAt(vaddr);
+    if (fn == nullptr) {
+      continue;
+    }
+    ++result.function_count;
+    result.footprint.MergeFrom(fn->local);
+    result.plt_calls.insert(fn->plt_calls.begin(), fn->plt_calls.end());
+    for (uint64_t callee : fn->local_callees) {
+      if (visited.find(callee) == visited.end()) {
+        queue.push_back(callee);
+      }
+    }
+  }
+  return result;
+}
+
+BinaryAnalysis::ReachableResult BinaryAnalysis::FromEntry() const {
+  return Reachable({entry_});
+}
+
+std::map<std::string, BinaryAnalysis::ReachableResult>
+BinaryAnalysis::PerExportReachable() const {
+  std::map<std::string, ReachableResult> out;
+  for (const auto& name : exports_) {
+    const FunctionInfo* fn = FunctionNamed(name);
+    if (fn == nullptr) {
+      continue;
+    }
+    out.emplace(name, Reachable({fn->vaddr}));
+  }
+  return out;
+}
+
+Result<BinaryAnalysis> BinaryAnalyzer::Analyze(const elf::ElfImage& image,
+                                               const Options& options) {
+  BinaryAnalysis analysis;
+  analysis.is_executable_ = image.IsExecutable();
+  analysis.entry_ = image.entry();
+  analysis.needed_ = image.needed();
+  analysis.soname_ = image.soname();
+
+  for (const auto& name : image.ImportedSymbolNames()) {
+    (void)name;  // imports are discovered per call site below
+  }
+  for (const auto* sym : image.ExportedFunctions()) {
+    analysis.exports_.push_back(sym->name);
+  }
+
+  // ---- Function table from .symtab ----
+  std::vector<const elf::Symbol*> funcs = image.DefinedFunctions();
+  std::sort(funcs.begin(), funcs.end(),
+            [](const elf::Symbol* a, const elf::Symbol* b) {
+              return a->value < b->value;
+            });
+  std::set<uint64_t> function_starts;
+  for (const auto* sym : funcs) {
+    function_starts.insert(sym->value);
+  }
+
+  for (const auto* sym : funcs) {
+    FunctionInfo info;
+    info.name = sym->name;
+    info.vaddr = sym->value;
+    info.size = sym->size;
+
+    auto body = image.DataAtVaddr(sym->value, sym->size);
+    if (body.empty() && sym->size > 0) {
+      // Symbol points outside mapped sections: skip but keep the record.
+      info.decode_complete = false;
+      analysis.functions_.push_back(std::move(info));
+      continue;
+    }
+
+    disasm::SweepResult sweep = disasm::LinearSweep(body, sym->value);
+    info.decode_complete = sweep.complete;
+
+    RegState state;
+    for (const Insn& insn : sweep.insns) {
+      switch (insn.kind) {
+        case InsnKind::kMovRegImm:
+          state.regs[insn.reg] = AbsVal{AbsVal::Kind::kConst, insn.imm};
+          break;
+        case InsnKind::kXorRegReg:
+          state.regs[insn.reg] = AbsVal{AbsVal::Kind::kConst, 0};
+          break;
+        case InsnKind::kMovRegReg:
+          state.regs[insn.reg] = state.regs[insn.reg2];
+          break;
+        case InsnKind::kLeaRipRel: {
+          state.regs[insn.reg] =
+              AbsVal{AbsVal::Kind::kRodataPtr,
+                     static_cast<int64_t>(insn.target)};
+          if (options.collect_pseudo_paths) {
+            auto s = ReadStringAt(image, insn.target);
+            if (s.has_value() && lapis::IsPseudoFilePath(*s)) {
+              info.local.pseudo_paths.insert(
+                  lapis::CanonicalizePseudoPath(*s));
+            }
+          }
+          break;
+        }
+        case InsnKind::kSyscall:
+        case InsnKind::kSysenter: {
+          ++analysis.total_syscall_sites;
+          const AbsVal& rax = state.regs[disasm::kRax];
+          if (rax.kind == AbsVal::Kind::kConst) {
+            int nr = static_cast<int>(rax.value);
+            info.local.syscalls.insert(nr);
+            if (options.resolve_wrapper_opcodes) {
+              auto record_op = [&](uint8_t arg_reg, std::set<uint32_t>& ops) {
+                const AbsVal& arg = state.regs[arg_reg];
+                if (arg.kind == AbsVal::Kind::kConst) {
+                  ops.insert(static_cast<uint32_t>(arg.value));
+                } else {
+                  ++info.local.unknown_opcode_sites;
+                }
+              };
+              if (nr == kSysIoctl) {
+                record_op(disasm::kRsi, info.local.ioctl_ops);
+              } else if (nr == kSysFcntl) {
+                record_op(disasm::kRsi, info.local.fcntl_ops);
+              } else if (nr == kSysPrctl) {
+                record_op(disasm::kRdi, info.local.prctl_ops);
+              }
+            }
+          } else {
+            ++info.local.unknown_syscall_sites;
+            ++analysis.unknown_syscall_sites;
+          }
+          break;
+        }
+        case InsnKind::kInt: {
+          if ((insn.imm & 0xff) == 0x80) {
+            ++info.local.int80_sites;
+            ++analysis.total_syscall_sites;
+            // The legacy gate takes its number in eax with i386 numbering.
+            const AbsVal& rax = state.regs[disasm::kRax];
+            if (rax.kind == AbsVal::Kind::kConst) {
+              info.local.int80_syscalls.insert(static_cast<int>(rax.value));
+            } else {
+              ++info.local.unknown_syscall_sites;
+              ++analysis.unknown_syscall_sites;
+            }
+          }
+          break;
+        }
+        case InsnKind::kCallRel32:
+        case InsnKind::kJmpRel: {
+          auto plt_symbol = image.ResolvePltCall(insn.target);
+          if (plt_symbol.has_value()) {
+            info.plt_calls.insert(*plt_symbol);
+            if (options.resolve_wrapper_opcodes) {
+              auto record_op = [&](uint8_t arg_reg, std::set<uint32_t>& ops) {
+                const AbsVal& arg = state.regs[arg_reg];
+                if (arg.kind == AbsVal::Kind::kConst) {
+                  ops.insert(static_cast<uint32_t>(arg.value));
+                } else {
+                  ++info.local.unknown_opcode_sites;
+                }
+              };
+              if (*plt_symbol == "ioctl") {
+                record_op(disasm::kRsi, info.local.ioctl_ops);
+              } else if (*plt_symbol == "fcntl" || *plt_symbol == "fcntl64") {
+                record_op(disasm::kRsi, info.local.fcntl_ops);
+              } else if (*plt_symbol == "prctl") {
+                record_op(disasm::kRdi, info.local.prctl_ops);
+              } else if (*plt_symbol == "syscall") {
+                // long syscall(long number, ...): number in rdi.
+                ++analysis.total_syscall_sites;
+                const AbsVal& rdi = state.regs[disasm::kRdi];
+                if (rdi.kind == AbsVal::Kind::kConst) {
+                  info.local.syscalls.insert(static_cast<int>(rdi.value));
+                } else {
+                  ++info.local.unknown_syscall_sites;
+                  ++analysis.unknown_syscall_sites;
+                }
+              }
+            }
+          } else if (function_starts.count(insn.target) != 0 &&
+                     insn.target != info.vaddr) {
+            info.local_callees.insert(insn.target);
+          }
+          if (insn.kind == InsnKind::kCallRel32) {
+            state.ClobberCallerSaved();
+          } else {
+            // Unconditional jump ends the block: later code may be reached
+            // from elsewhere with different register contents.
+            state.Reset();
+          }
+          break;
+        }
+        case InsnKind::kCallIndirect:
+        case InsnKind::kJmpIndirect:
+          ++info.local.indirect_call_sites;
+          if (insn.kind == InsnKind::kCallIndirect) {
+            state.ClobberCallerSaved();
+          } else {
+            state.Reset();
+          }
+          break;
+        case InsnKind::kRet:
+          state.Reset();
+          break;
+        case InsnKind::kJccRel:
+        case InsnKind::kNop:
+          break;
+        case InsnKind::kOther:
+          // Unmodeled instruction: any register it wrote is stale. We only
+          // track a small instruction vocabulary, so conservatively drop
+          // rax (the syscall-number register) on arithmetic-looking ops.
+          if (!insn.two_byte && insn.opcode != 0x89 && insn.opcode != 0x8b) {
+            state.regs[disasm::kRax] = AbsVal{};
+          }
+          break;
+      }
+    }
+
+    analysis.functions_.push_back(std::move(info));
+  }
+
+  for (size_t i = 0; i < analysis.functions_.size(); ++i) {
+    analysis.by_vaddr_.emplace(analysis.functions_[i].vaddr, i);
+    analysis.by_name_.emplace(analysis.functions_[i].name, i);
+  }
+  return analysis;
+}
+
+}  // namespace lapis::analysis

@@ -1,0 +1,112 @@
+// Per-binary static analysis (paper §2.3, §7).
+//
+// For each ELF binary:
+//   1. Build the function table from .symtab (defined STT_FUNC symbols).
+//   2. Disassemble each function and track abstract register values
+//      (constants from mov-imm / xor-zero, .rodata pointers from
+//      rip-relative lea) along straight-line code.
+//   3. At `syscall` / `sysenter` / `int 0x80` sites, recover the system-call
+//      number from the tracked rax value; at vectored calls (ioctl/fcntl/
+//      prctl, direct or via their libc PLT wrappers) recover the opcode from
+//      the argument register; at PLT calls record the imported symbol; at
+//      rip-relative string loads record hard-coded pseudo-file paths.
+//   4. Build the intra-binary call graph (call/jmp rel32 between functions).
+//
+// Reachability and cross-library resolution live in library_resolver.h.
+
+#ifndef LAPIS_SRC_ANALYSIS_BINARY_ANALYZER_H_
+#define LAPIS_SRC_ANALYSIS_BINARY_ANALYZER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/footprint.h"
+#include "src/elf/elf_image.h"
+#include "src/util/status.h"
+
+namespace lapis::analysis {
+
+// Analysis result for one function.
+struct FunctionInfo {
+  std::string name;
+  uint64_t vaddr = 0;
+  uint64_t size = 0;
+
+  Footprint local;                       // APIs requested directly here
+  std::set<std::string> plt_calls;       // imported symbols called
+  std::set<uint64_t> local_callees;      // vaddrs of intra-binary callees
+  bool decode_complete = true;           // linear sweep covered whole body
+};
+
+// Analysis result for one binary.
+class BinaryAnalysis {
+ public:
+  const std::vector<FunctionInfo>& functions() const { return functions_; }
+  const std::vector<std::string>& needed() const { return needed_; }
+  const std::string& soname() const { return soname_; }
+  bool is_executable() const { return is_executable_; }
+  uint64_t entry() const { return entry_; }
+
+  // Function lookup by start vaddr; nullptr if absent.
+  const FunctionInfo* FunctionAt(uint64_t vaddr) const;
+  const FunctionInfo* FunctionNamed(std::string_view name) const;
+
+  // Union of local footprints + plt_calls over everything reachable from
+  // `roots` (function start vaddrs) through the intra-binary call graph.
+  struct ReachableResult {
+    Footprint footprint;
+    std::set<std::string> plt_calls;
+    size_t function_count = 0;
+  };
+  ReachableResult Reachable(const std::vector<uint64_t>& roots) const;
+
+  // Executable entry-point reachability (paper: "reachable from e_entry").
+  ReachableResult FromEntry() const;
+
+  // For a shared library: per exported function, its within-library
+  // reachable result. Exported names map to dynsym definitions.
+  std::map<std::string, ReachableResult> PerExportReachable() const;
+
+  // Names exported via .dynsym (defined global functions).
+  const std::vector<std::string>& exports() const { return exports_; }
+
+  // Total call sites inspected / sites with undeterminable numbers.
+  int total_syscall_sites = 0;
+  int unknown_syscall_sites = 0;
+
+ private:
+  friend class BinaryAnalyzer;
+
+  std::vector<FunctionInfo> functions_;
+  std::map<uint64_t, size_t> by_vaddr_;
+  std::map<std::string, size_t, std::less<>> by_name_;
+  std::vector<std::string> exports_;
+  std::vector<std::string> needed_;
+  std::string soname_;
+  bool is_executable_ = false;
+  uint64_t entry_ = 0;
+};
+
+// Methodology switches, mirroring the paper's.
+struct AnalyzerOptions {
+  // Recognize libc wrapper calls (ioctl/fcntl/prctl/syscall) and recover
+  // opcodes / numbers from their argument registers.
+  bool resolve_wrapper_opcodes = true;
+  // Collect hard-coded /proc, /sys, /dev paths from rip-relative loads.
+  bool collect_pseudo_paths = true;
+};
+
+class BinaryAnalyzer {
+ public:
+  using Options = AnalyzerOptions;
+
+  static Result<BinaryAnalysis> Analyze(const elf::ElfImage& image,
+                                        const Options& options = Options());
+};
+
+}  // namespace lapis::analysis
+
+#endif  // LAPIS_SRC_ANALYSIS_BINARY_ANALYZER_H_

@@ -1,0 +1,199 @@
+#include "src/analysis/db_pipeline.h"
+
+#include "src/db/transitive_closure.h"
+
+namespace lapis::analysis {
+
+namespace {
+
+// Fact encoding tags (self-contained; decoded only inside this module).
+constexpr int64_t kTagSyscall = 0;
+constexpr int64_t kTagIoctl = 1;
+constexpr int64_t kTagFcntl = 2;
+constexpr int64_t kTagPrctl = 3;
+constexpr int64_t kTagPath = 4;
+
+int64_t Encode(int64_t tag, uint32_t value) {
+  return (tag << 32) | value;
+}
+
+}  // namespace
+
+DbPipeline::DbPipeline() {
+  functions_ = database_
+                   .CreateTable("functions",
+                                {{"node", db::ColumnType::kInt64},
+                                 {"binary", db::ColumnType::kString},
+                                 {"vaddr", db::ColumnType::kInt64},
+                                 {"name", db::ColumnType::kString}})
+                   .value();
+  calls_ = database_
+               .CreateTable("calls", {{"src", db::ColumnType::kInt64},
+                                      {"dst", db::ColumnType::kInt64}})
+               .value();
+  imports_ = database_
+                 .CreateTable("imports",
+                              {{"src", db::ColumnType::kInt64},
+                               {"symbol", db::ColumnType::kString}})
+                 .value();
+  exports_ = database_
+                 .CreateTable("exports",
+                              {{"symbol", db::ColumnType::kString},
+                               {"node", db::ColumnType::kInt64}})
+                 .value();
+  facts_ = database_
+               .CreateTable("facts", {{"node", db::ColumnType::kInt64},
+                                      {"fact", db::ColumnType::kInt64}})
+               .value();
+  paths_ = database_
+               .CreateTable("paths", {{"id", db::ColumnType::kInt64},
+                                      {"path", db::ColumnType::kString}})
+               .value();
+}
+
+int64_t DbPipeline::EncodePath(const std::string& path) {
+  auto it = path_ids_.find(path);
+  uint32_t id;
+  if (it != path_ids_.end()) {
+    id = it->second;
+  } else {
+    id = static_cast<uint32_t>(path_names_.size());
+    path_ids_.emplace(path, id);
+    path_names_.push_back(path);
+    (void)paths_->Insert({static_cast<int64_t>(id), path});
+  }
+  return Encode(kTagPath, id);
+}
+
+Status DbPipeline::AddBinary(const std::string& binary_name,
+                             const BinaryAnalysis& analysis) {
+  aggregated_ = false;
+  // Assign node ids to every function.
+  std::map<uint64_t, uint32_t> node_of_vaddr;
+  for (const auto& fn : analysis.functions()) {
+    uint32_t node = next_node_++;
+    node_of_vaddr.emplace(fn.vaddr, node);
+    LAPIS_RETURN_IF_ERROR(functions_->Insert(
+        {static_cast<int64_t>(node), binary_name,
+         static_cast<int64_t>(fn.vaddr), fn.name}));
+  }
+  for (const auto& fn : analysis.functions()) {
+    uint32_t node = node_of_vaddr.at(fn.vaddr);
+    for (uint64_t callee : fn.local_callees) {
+      auto target = node_of_vaddr.find(callee);
+      if (target != node_of_vaddr.end()) {
+        LAPIS_RETURN_IF_ERROR(
+            calls_->Insert({static_cast<int64_t>(node),
+                            static_cast<int64_t>(target->second)}));
+      }
+    }
+    for (const auto& symbol : fn.plt_calls) {
+      LAPIS_RETURN_IF_ERROR(
+          imports_->Insert({static_cast<int64_t>(node), symbol}));
+      pending_imports_.emplace_back(node, symbol);
+    }
+    for (int nr : fn.local.syscalls) {
+      LAPIS_RETURN_IF_ERROR(facts_->Insert(
+          {static_cast<int64_t>(node),
+           Encode(kTagSyscall, static_cast<uint32_t>(nr))}));
+    }
+    for (uint32_t op : fn.local.ioctl_ops) {
+      LAPIS_RETURN_IF_ERROR(facts_->Insert(
+          {static_cast<int64_t>(node), Encode(kTagIoctl, op)}));
+    }
+    for (uint32_t op : fn.local.fcntl_ops) {
+      LAPIS_RETURN_IF_ERROR(facts_->Insert(
+          {static_cast<int64_t>(node), Encode(kTagFcntl, op)}));
+    }
+    for (uint32_t op : fn.local.prctl_ops) {
+      LAPIS_RETURN_IF_ERROR(facts_->Insert(
+          {static_cast<int64_t>(node), Encode(kTagPrctl, op)}));
+    }
+    for (const auto& path : fn.local.pseudo_paths) {
+      LAPIS_RETURN_IF_ERROR(facts_->Insert(
+          {static_cast<int64_t>(node), EncodePath(path)}));
+    }
+  }
+  if (analysis.is_executable()) {
+    auto entry = node_of_vaddr.find(analysis.entry());
+    if (entry == node_of_vaddr.end()) {
+      return InvalidArgumentError("entry point is not a known function in " +
+                                  binary_name);
+    }
+    entry_nodes_.emplace(binary_name, entry->second);
+  } else {
+    for (const auto& symbol : analysis.exports()) {
+      const FunctionInfo* fn = analysis.FunctionNamed(symbol);
+      if (fn == nullptr) {
+        continue;
+      }
+      auto node = node_of_vaddr.at(fn->vaddr);
+      if (export_nodes_.emplace(symbol, node).second) {
+        LAPIS_RETURN_IF_ERROR(
+            exports_->Insert({symbol, static_cast<int64_t>(node)}));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status DbPipeline::Aggregate() {
+  db::TransitiveAggregator aggregator(next_node_);
+  for (size_t row = 0; row < calls_->row_count(); ++row) {
+    LAPIS_RETURN_IF_ERROR(aggregator.AddEdge(
+        static_cast<uint32_t>(calls_->GetInt(row, 0)),
+        static_cast<uint32_t>(calls_->GetInt(row, 1))));
+  }
+  for (const auto& [src, symbol] : pending_imports_) {
+    auto target = export_nodes_.find(symbol);
+    if (target != export_nodes_.end()) {
+      LAPIS_RETURN_IF_ERROR(aggregator.AddEdge(src, target->second));
+    }
+  }
+  for (size_t row = 0; row < facts_->row_count(); ++row) {
+    LAPIS_RETURN_IF_ERROR(aggregator.AddFact(
+        static_cast<uint32_t>(facts_->GetInt(row, 0)),
+        facts_->GetInt(row, 1)));
+  }
+  closure_ = aggregator.Aggregate();
+  aggregated_ = true;
+  return Status::Ok();
+}
+
+Result<Footprint> DbPipeline::ExecutableFootprint(
+    const std::string& binary_name) {
+  auto entry = entry_nodes_.find(binary_name);
+  if (entry == entry_nodes_.end()) {
+    return NotFoundError("unknown executable: " + binary_name);
+  }
+  if (!aggregated_) {
+    LAPIS_RETURN_IF_ERROR(Aggregate());
+  }
+  Footprint footprint;
+  for (int64_t fact : closure_[entry->second]) {
+    int64_t tag = fact >> 32;
+    uint32_t value = static_cast<uint32_t>(fact & 0xffffffff);
+    switch (tag) {
+      case kTagSyscall:
+        footprint.syscalls.insert(static_cast<int>(value));
+        break;
+      case kTagIoctl:
+        footprint.ioctl_ops.insert(value);
+        break;
+      case kTagFcntl:
+        footprint.fcntl_ops.insert(value);
+        break;
+      case kTagPrctl:
+        footprint.prctl_ops.insert(value);
+        break;
+      case kTagPath:
+        footprint.pseudo_paths.insert(path_names_[value]);
+        break;
+      default:
+        return CorruptDataError("unknown fact tag");
+    }
+  }
+  return footprint;
+}
+
+}  // namespace lapis::analysis

@@ -1,0 +1,70 @@
+// Database-backed footprint aggregation — the paper's PostgreSQL pipeline
+// (§7: raw per-function facts inserted into a relational store, whole-
+// program footprints computed with recursive queries).
+//
+// DbPipeline loads BinaryAnalysis results into lapis::db tables (functions,
+// call edges, import edges, exports, API facts) and computes executable
+// footprints with one TransitiveAggregator pass over the cross-binary call
+// graph. It is an independent implementation of the same aggregation the
+// in-memory LibraryResolver performs; tests assert both agree exactly.
+
+#ifndef LAPIS_SRC_ANALYSIS_DB_PIPELINE_H_
+#define LAPIS_SRC_ANALYSIS_DB_PIPELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/binary_analyzer.h"
+#include "src/db/table.h"
+#include "src/util/status.h"
+
+namespace lapis::analysis {
+
+class DbPipeline {
+ public:
+  DbPipeline();
+
+  // Loads one analyzed binary under `binary_name` (executable name or
+  // library soname). Library exports become linkable symbols; first
+  // registration of a symbol wins.
+  Status AddBinary(const std::string& binary_name,
+                   const BinaryAnalysis& analysis);
+
+  // Footprint of a previously added executable: the fact union over the
+  // transitive closure of its entry function across all loaded binaries.
+  Result<Footprint> ExecutableFootprint(const std::string& binary_name);
+
+  // Underlying store (inspectable; also serializable via db::Database).
+  const db::Database& database() const { return database_; }
+  size_t node_count() const { return next_node_; }
+
+ private:
+  int64_t EncodeSyscall(int nr) const;
+  int64_t EncodeOp(int family, uint32_t op) const;
+  int64_t EncodePath(const std::string& path);
+
+  db::Database database_;
+  db::Table* functions_;  // node, binary, vaddr, name
+  db::Table* calls_;      // src node, dst node (intra-binary)
+  db::Table* imports_;    // src node, symbol
+  db::Table* exports_;    // symbol, node
+  db::Table* facts_;      // node, encoded fact
+  db::Table* paths_;      // path id, path string
+
+  uint32_t next_node_ = 0;
+  std::map<std::string, uint32_t> entry_nodes_;     // executable -> node
+  std::map<std::string, uint32_t> export_nodes_;    // symbol -> node
+  std::map<std::string, uint32_t> path_ids_;
+  std::vector<std::string> path_names_;
+  // Unresolved import edges kept symbolic until aggregation.
+  std::vector<std::pair<uint32_t, std::string>> pending_imports_;
+  // Cached aggregation (invalidated by AddBinary).
+  bool aggregated_ = false;
+  std::vector<std::vector<int64_t>> closure_;
+  Status Aggregate();
+};
+
+}  // namespace lapis::analysis
+
+#endif  // LAPIS_SRC_ANALYSIS_DB_PIPELINE_H_

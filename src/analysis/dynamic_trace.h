@@ -1,0 +1,67 @@
+// Dynamic system-call tracing of synthesized binaries (the study's strace
+// cross-check, §2.3: "we spot check that static analysis returns a superset
+// of strace results").
+//
+// DynamicTracer is a small abstract-machine interpreter over the x86-64
+// subset the code generator emits: it walks instructions from the entry
+// point, maintains concrete register values where known, follows direct
+// calls (local and through the PLT into registered libraries), and records
+// every system call actually "executed" with its arguments. Being an
+// execution (one concrete path), its observations must be a subset of the
+// static footprint — the property tests enforce exactly that.
+
+#ifndef LAPIS_SRC_ANALYSIS_DYNAMIC_TRACE_H_
+#define LAPIS_SRC_ANALYSIS_DYNAMIC_TRACE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/analysis/footprint.h"
+#include "src/elf/elf_image.h"
+#include "src/util/status.h"
+
+namespace lapis::analysis {
+
+// Recorded observations of one traced run.
+struct TraceResult {
+  Footprint observed;            // syscalls / opcodes / paths actually hit
+  size_t instructions_executed = 0;
+  size_t calls_followed = 0;
+  // Imported symbols that could not be resolved in any registered library
+  // (treated as no-ops, like a stub returning 0).
+  std::set<std::string> stubbed_imports;
+  bool hit_step_limit = false;
+};
+
+class DynamicTracer {
+ public:
+  // `step_limit` bounds execution (recursion in synthesized code is rare
+  // but the tracer must terminate regardless).
+  explicit DynamicTracer(size_t step_limit = 1 << 20)
+      : step_limit_(step_limit) {}
+
+  // Registers a shared library; its exports become call targets for
+  // PLT-resolved calls of traced executables (and other libraries).
+  Status AddLibrary(std::shared_ptr<const elf::ElfImage> library);
+
+  // Runs the executable from its entry point.
+  Result<TraceResult> Trace(const elf::ElfImage& executable) const;
+
+  size_t library_count() const { return libraries_.size(); }
+
+ private:
+  struct ExportSite {
+    const elf::ElfImage* image;
+    uint64_t vaddr;
+  };
+
+  size_t step_limit_;
+  std::vector<std::shared_ptr<const elf::ElfImage>> libraries_;
+  std::map<std::string, ExportSite> exports_;
+};
+
+}  // namespace lapis::analysis
+
+#endif  // LAPIS_SRC_ANALYSIS_DYNAMIC_TRACE_H_

@@ -1,0 +1,35 @@
+#include "src/analysis/footprint.h"
+
+namespace lapis::analysis {
+
+void Footprint::MergeFrom(const Footprint& other) {
+  syscalls.insert(other.syscalls.begin(), other.syscalls.end());
+  ioctl_ops.insert(other.ioctl_ops.begin(), other.ioctl_ops.end());
+  fcntl_ops.insert(other.fcntl_ops.begin(), other.fcntl_ops.end());
+  prctl_ops.insert(other.prctl_ops.begin(), other.prctl_ops.end());
+  pseudo_paths.insert(other.pseudo_paths.begin(), other.pseudo_paths.end());
+  int80_syscalls.insert(other.int80_syscalls.begin(),
+                        other.int80_syscalls.end());
+  unknown_syscall_sites += other.unknown_syscall_sites;
+  unknown_opcode_sites += other.unknown_opcode_sites;
+  indirect_call_sites += other.indirect_call_sites;
+  int80_sites += other.int80_sites;
+}
+
+bool Footprint::Empty() const {
+  return syscalls.empty() && ioctl_ops.empty() && fcntl_ops.empty() &&
+         prctl_ops.empty() && pseudo_paths.empty();
+}
+
+size_t Footprint::ApiCount() const {
+  return syscalls.size() + ioctl_ops.size() + fcntl_ops.size() +
+         prctl_ops.size() + pseudo_paths.size();
+}
+
+bool Footprint::operator==(const Footprint& other) const {
+  return syscalls == other.syscalls && ioctl_ops == other.ioctl_ops &&
+         fcntl_ops == other.fcntl_ops && prctl_ops == other.prctl_ops &&
+         pseudo_paths == other.pseudo_paths;
+}
+
+}  // namespace lapis::analysis

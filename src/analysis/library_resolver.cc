@@ -1,0 +1,102 @@
+#include "src/analysis/library_resolver.h"
+
+#include <deque>
+
+namespace lapis::analysis {
+
+Status LibraryResolver::AddLibrary(
+    std::shared_ptr<const BinaryAnalysis> library) {
+  if (library == nullptr) {
+    return InvalidArgumentError("null library");
+  }
+  const std::string& soname = library->soname();
+  if (soname.empty()) {
+    return InvalidArgumentError("library has no soname");
+  }
+  if (libraries_.count(soname) != 0) {
+    return FailedPreconditionError("library already registered: " + soname);
+  }
+  LibEntry entry;
+  entry.analysis = library;
+  entry.export_reach = library->PerExportReachable();
+  for (const auto& [symbol, reach] : entry.export_reach) {
+    symbol_to_soname_.emplace(symbol, soname);  // first wins
+  }
+  libraries_.emplace(soname, std::move(entry));
+  sonames_.push_back(soname);
+  return Status::Ok();
+}
+
+std::string LibraryResolver::ExporterOf(const std::string& symbol) const {
+  auto it = symbol_to_soname_.find(symbol);
+  return it == symbol_to_soname_.end() ? std::string() : it->second;
+}
+
+void LibraryResolver::Expand(const std::set<std::string>& initial_symbols,
+                             Resolution& resolution) const {
+  std::deque<std::string> queue(initial_symbols.begin(),
+                                initial_symbols.end());
+  std::set<std::string> visited;
+  while (!queue.empty()) {
+    std::string symbol = std::move(queue.front());
+    queue.pop_front();
+    if (!visited.insert(symbol).second) {
+      continue;
+    }
+    auto soname_it = symbol_to_soname_.find(symbol);
+    if (soname_it == symbol_to_soname_.end()) {
+      resolution.unresolved_imports.insert(symbol);
+      continue;
+    }
+    const LibEntry& lib = libraries_.at(soname_it->second);
+    auto reach_it = lib.export_reach.find(symbol);
+    if (reach_it == lib.export_reach.end()) {
+      resolution.unresolved_imports.insert(symbol);
+      continue;
+    }
+    resolution.used_exports[soname_it->second].insert(symbol);
+    const auto& reach = reach_it->second;
+    resolution.footprint.MergeFrom(reach.footprint);
+    resolution.reachable_function_count += reach.function_count;
+    for (const auto& next : reach.plt_calls) {
+      if (visited.find(next) == visited.end()) {
+        queue.push_back(next);
+      }
+    }
+  }
+}
+
+LibraryResolver::Resolution LibraryResolver::ResolveExecutable(
+    const BinaryAnalysis& exe) const {
+  Resolution resolution;
+  BinaryAnalysis::ReachableResult entry_reach = exe.FromEntry();
+  resolution.footprint.MergeFrom(entry_reach.footprint);
+  resolution.reachable_function_count = entry_reach.function_count;
+  Expand(entry_reach.plt_calls, resolution);
+  return resolution;
+}
+
+LibraryResolver::Resolution LibraryResolver::ResolveFromSymbols(
+    const std::vector<std::string>& symbols) const {
+  Resolution resolution;
+  Expand(std::set<std::string>(symbols.begin(), symbols.end()), resolution);
+  return resolution;
+}
+
+Result<LibraryResolver::Resolution> LibraryResolver::ResolveWholeLibrary(
+    const std::string& soname) const {
+  auto it = libraries_.find(soname);
+  if (it == libraries_.end()) {
+    return NotFoundError("library not registered: " + soname);
+  }
+  Resolution resolution;
+  std::set<std::string> roots;
+  for (const auto& [symbol, reach] : it->second.export_reach) {
+    (void)reach;
+    roots.insert(symbol);
+  }
+  Expand(roots, resolution);
+  return resolution;
+}
+
+}  // namespace lapis::analysis

@@ -1,0 +1,80 @@
+// Cross-binary footprint resolution (paper §7).
+//
+// Executables rarely make system calls directly — they call library exports
+// (mostly libc) that do. LibraryResolver holds the per-export reachability
+// results of every registered shared library and resolves a binary's full
+// footprint by fixpoint over the imported-symbol graph:
+//
+//   exe entry ──reach──▶ plt calls ──▶ (lib, export) ──reach──▶ plt calls ─▶ …
+//
+// The result also records which exports of which library were touched; the
+// libc slice of that drives the libc-importance study (§3.5) and the libc
+// variant evaluation (Table 7).
+
+#ifndef LAPIS_SRC_ANALYSIS_LIBRARY_RESOLVER_H_
+#define LAPIS_SRC_ANALYSIS_LIBRARY_RESOLVER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/binary_analyzer.h"
+#include "src/util/status.h"
+
+namespace lapis::analysis {
+
+class LibraryResolver {
+ public:
+  // Registers an analyzed shared library under its soname; precomputes and
+  // memoizes per-export reachability. First registration of a symbol wins
+  // (mirrors linker search order).
+  Status AddLibrary(std::shared_ptr<const BinaryAnalysis> library);
+
+  struct Resolution {
+    Footprint footprint;
+    // Exports actually pulled in, grouped by soname. The "libc.so.6" slice
+    // is each package's libc API footprint.
+    std::map<std::string, std::set<std::string>> used_exports;
+    // Imported symbols no registered library exports.
+    std::set<std::string> unresolved_imports;
+    size_t reachable_function_count = 0;
+  };
+
+  // Full footprint of an executable: entry-reachable code plus the closure
+  // of everything it (transitively) imports.
+  Resolution ResolveExecutable(const BinaryAnalysis& exe) const;
+
+  // Closure starting from a set of symbol names (used for interpreter
+  // packages, where the interpreter's public entry points over-approximate
+  // the scripts' footprints — paper §2.3).
+  Resolution ResolveFromSymbols(const std::vector<std::string>& symbols) const;
+
+  // Closure over every export of one registered library (the library's own
+  // total footprint; used for site attribution, not package footprints).
+  Result<Resolution> ResolveWholeLibrary(const std::string& soname) const;
+
+  size_t library_count() const { return libraries_.size(); }
+  const std::vector<std::string>& sonames() const { return sonames_; }
+
+  // The registered library exporting `symbol`, or empty string.
+  std::string ExporterOf(const std::string& symbol) const;
+
+ private:
+  struct LibEntry {
+    std::shared_ptr<const BinaryAnalysis> analysis;
+    std::map<std::string, BinaryAnalysis::ReachableResult> export_reach;
+  };
+
+  void Expand(const std::set<std::string>& initial_symbols,
+              Resolution& resolution) const;
+
+  std::map<std::string, LibEntry> libraries_;  // by soname
+  std::vector<std::string> sonames_;
+  std::map<std::string, std::string> symbol_to_soname_;
+};
+
+}  // namespace lapis::analysis
+
+#endif  // LAPIS_SRC_ANALYSIS_LIBRARY_RESOLVER_H_

@@ -1,0 +1,76 @@
+#include "src/analysis/script_scanner.h"
+
+namespace lapis::analysis {
+
+namespace {
+
+// Last path component: "/usr/bin/python2.7" -> "python2.7".
+std::string Basename(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+package::ProgramKind KindForInterpreter(const std::string& interpreter) {
+  if (interpreter == "sh" || interpreter == "dash") {
+    return package::ProgramKind::kShellDash;
+  }
+  if (interpreter == "bash") {
+    return package::ProgramKind::kShellBash;
+  }
+  if (interpreter.rfind("python", 0) == 0) {
+    return package::ProgramKind::kPython;
+  }
+  if (interpreter.rfind("perl", 0) == 0) {
+    return package::ProgramKind::kPerl;
+  }
+  if (interpreter.rfind("ruby", 0) == 0) {
+    return package::ProgramKind::kRuby;
+  }
+  return package::ProgramKind::kOtherInterpreted;
+}
+
+Result<ScriptInfo> ClassifyScript(std::span<const uint8_t> contents) {
+  if (contents.size() < 3 || contents[0] != '#' || contents[1] != '!') {
+    return InvalidArgumentError("no shebang");
+  }
+  // Extract the first line (bounded; shebang lines are short by spec).
+  std::string line;
+  for (size_t i = 2; i < contents.size() && i < 256; ++i) {
+    if (contents[i] == '\n' || contents[i] == '\r') {
+      break;
+    }
+    line.push_back(static_cast<char>(contents[i]));
+  }
+  // Trim leading spaces, split "interpreter [arg]".
+  size_t start = line.find_first_not_of(' ');
+  if (start == std::string::npos) {
+    return InvalidArgumentError("empty shebang");
+  }
+  size_t end = line.find(' ', start);
+  std::string interpreter_path = line.substr(
+      start, end == std::string::npos ? std::string::npos : end - start);
+  std::string interpreter = Basename(interpreter_path);
+  // "#!/usr/bin/env python" resolves through env's first argument.
+  if (interpreter == "env" && end != std::string::npos) {
+    size_t arg_start = line.find_first_not_of(' ', end);
+    if (arg_start == std::string::npos) {
+      return InvalidArgumentError("env shebang without interpreter");
+    }
+    size_t arg_end = line.find(' ', arg_start);
+    interpreter = Basename(line.substr(
+        arg_start,
+        arg_end == std::string::npos ? std::string::npos
+                                     : arg_end - arg_start));
+  }
+  if (interpreter.empty()) {
+    return InvalidArgumentError("empty interpreter in shebang");
+  }
+  ScriptInfo info;
+  info.interpreter = interpreter;
+  info.kind = KindForInterpreter(interpreter);
+  return info;
+}
+
+}  // namespace lapis::analysis

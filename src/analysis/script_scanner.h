@@ -1,0 +1,37 @@
+// Interpreted-program classification (paper Fig 1: "Interpreters are
+// detected by shebangs of the files").
+//
+// The study separates ELF binaries from interpreted programs and buckets
+// the latter by interpreter. ClassifyScript inspects a file's first line
+// and resolves the interpreter through the usual forms:
+//   #!/bin/sh          #!/usr/bin/python2.7        #!/usr/bin/env perl
+
+#ifndef LAPIS_SRC_ANALYSIS_SCRIPT_SCANNER_H_
+#define LAPIS_SRC_ANALYSIS_SCRIPT_SCANNER_H_
+
+#include <span>
+#include <string>
+
+#include "src/package/repository.h"
+#include "src/util/status.h"
+
+namespace lapis::analysis {
+
+struct ScriptInfo {
+  package::ProgramKind kind = package::ProgramKind::kOtherInterpreted;
+  // The resolved interpreter program name ("sh", "python2.7", ...).
+  std::string interpreter;
+};
+
+// Classifies a file's contents. Fails with kInvalidArgument if the file
+// has no shebang line (e.g. it is an ELF binary or data).
+Result<ScriptInfo> ClassifyScript(std::span<const uint8_t> contents);
+
+// Maps an interpreter program name to the study's buckets:
+// sh/dash -> kShellDash, bash -> kShellBash, python* -> kPython,
+// perl* -> kPerl, ruby* -> kRuby, anything else -> kOtherInterpreted.
+package::ProgramKind KindForInterpreter(const std::string& interpreter);
+
+}  // namespace lapis::analysis
+
+#endif  // LAPIS_SRC_ANALYSIS_SCRIPT_SCANNER_H_

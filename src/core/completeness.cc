@@ -1,0 +1,215 @@
+#include "src/core/completeness.h"
+
+#include <algorithm>
+
+namespace lapis::core {
+
+namespace {
+
+bool KindEvaluated(const CompletenessOptions& options, ApiKind kind) {
+  return options.evaluated_kinds.empty() ||
+         options.evaluated_kinds.count(kind) != 0;
+}
+
+// Weighted completeness from a per-package "self-supported" vector,
+// applying dependency poisoning through closures.
+double CompletenessFromSelfOk(const StudyDataset& dataset,
+                              const std::vector<bool>& self_ok) {
+  double supported_weight = 0.0;
+  double total_weight = 0.0;
+  for (PackageId id = 0; id < dataset.package_count(); ++id) {
+    double p = dataset.InstallProbability(id);
+    total_weight += p;
+    bool ok = true;
+    for (PackageId member : dataset.DependencyClosure(id)) {
+      if (!self_ok[member]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      supported_weight += p;
+    }
+  }
+  if (total_weight == 0.0) {
+    return 0.0;
+  }
+  return supported_weight / total_weight;
+}
+
+}  // namespace
+
+std::vector<bool> SupportedPackages(const StudyDataset& dataset,
+                                    const std::set<ApiId>& supported,
+                                    const CompletenessOptions& options) {
+  std::vector<bool> self_ok(dataset.package_count(), true);
+  for (PackageId id = 0; id < dataset.package_count(); ++id) {
+    for (const ApiId& api : dataset.Footprint(id)) {
+      if (!KindEvaluated(options, api.kind)) {
+        continue;
+      }
+      if (supported.find(api) == supported.end()) {
+        self_ok[id] = false;
+        break;
+      }
+    }
+  }
+  // Apply dependency poisoning.
+  std::vector<bool> out(dataset.package_count(), true);
+  for (PackageId id = 0; id < dataset.package_count(); ++id) {
+    for (PackageId member : dataset.DependencyClosure(id)) {
+      if (!self_ok[member]) {
+        out[id] = false;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double WeightedCompleteness(const StudyDataset& dataset,
+                            const std::set<ApiId>& supported,
+                            const CompletenessOptions& options) {
+  std::vector<bool> self_ok(dataset.package_count(), true);
+  for (PackageId id = 0; id < dataset.package_count(); ++id) {
+    for (const ApiId& api : dataset.Footprint(id)) {
+      if (!KindEvaluated(options, api.kind)) {
+        continue;
+      }
+      if (supported.find(api) == supported.end()) {
+        self_ok[id] = false;
+        break;
+      }
+    }
+  }
+  return CompletenessFromSelfOk(dataset, self_ok);
+}
+
+std::vector<PathPoint> GreedyCompletenessPath(
+    const StudyDataset& dataset, ApiKind kind,
+    const std::vector<ApiId>& universe) {
+  std::vector<ApiId> order = dataset.RankByImportance(kind, universe);
+
+  // missing[pkg] = number of `kind` APIs in the footprint not yet supported.
+  std::vector<uint32_t> missing(dataset.package_count(), 0);
+  for (PackageId id = 0; id < dataset.package_count(); ++id) {
+    for (const ApiId& api : dataset.Footprint(id)) {
+      if (api.kind == kind) {
+        ++missing[id];
+      }
+    }
+  }
+
+  std::vector<PathPoint> path;
+  path.reserve(order.size());
+  std::vector<bool> self_ok(dataset.package_count());
+  for (const ApiId& api : order) {
+    for (PackageId pkg : dataset.Dependents(api)) {
+      --missing[pkg];
+    }
+    for (PackageId id = 0; id < dataset.package_count(); ++id) {
+      self_ok[id] = missing[id] == 0;
+    }
+    PathPoint point;
+    point.api = api;
+    point.importance = dataset.ApiImportance(api);
+    point.weighted_completeness = CompletenessFromSelfOk(dataset, self_ok);
+    path.push_back(point);
+  }
+  return path;
+}
+
+std::vector<PathPoint> GreedyCompletenessPathMultiKind(
+    const StudyDataset& dataset, const std::set<ApiKind>& kinds,
+    const std::vector<ApiId>& universe) {
+  // Merge the per-kind rankings into one importance-ordered list.
+  std::vector<ApiId> order;
+  for (ApiKind kind : kinds) {
+    auto ranked = dataset.RankByImportance(kind, universe);
+    order.insert(order.end(), ranked.begin(), ranked.end());
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&dataset](const ApiId& a, const ApiId& b) {
+                     double ia = dataset.ApiImportance(a);
+                     double ib = dataset.ApiImportance(b);
+                     if (ia != ib) {
+                       return ia > ib;
+                     }
+                     double ua = dataset.UnweightedImportance(a);
+                     double ub = dataset.UnweightedImportance(b);
+                     if (ua != ub) {
+                       return ua > ub;
+                     }
+                     return a < b;
+                   });
+
+  std::vector<uint32_t> missing(dataset.package_count(), 0);
+  for (PackageId id = 0; id < dataset.package_count(); ++id) {
+    for (const ApiId& api : dataset.Footprint(id)) {
+      if (kinds.count(api.kind) != 0) {
+        ++missing[id];
+      }
+    }
+  }
+
+  std::vector<PathPoint> path;
+  path.reserve(order.size());
+  std::vector<bool> self_ok(dataset.package_count());
+  for (const ApiId& api : order) {
+    for (PackageId pkg : dataset.Dependents(api)) {
+      --missing[pkg];
+    }
+    for (PackageId id = 0; id < dataset.package_count(); ++id) {
+      self_ok[id] = missing[id] == 0;
+    }
+    PathPoint point;
+    point.api = api;
+    point.importance = dataset.ApiImportance(api);
+    point.weighted_completeness = CompletenessFromSelfOk(dataset, self_ok);
+    path.push_back(point);
+  }
+  return path;
+}
+
+std::vector<Stage> DecomposeStages(const std::vector<PathPoint>& path,
+                                   const std::vector<double>& thresholds,
+                                   double baseline) {
+  std::vector<Stage> stages;
+  size_t cursor = 0;
+  for (double raw_threshold : thresholds) {
+    double threshold = std::min(1.0, raw_threshold + baseline);
+    while (cursor < path.size() &&
+           path[cursor].weighted_completeness + 1e-12 < threshold) {
+      ++cursor;
+    }
+    Stage stage;
+    stage.threshold = raw_threshold;
+    if (cursor < path.size()) {
+      stage.cumulative_apis = cursor + 1;
+      stage.weighted_completeness = path[cursor].weighted_completeness;
+    } else {
+      stage.cumulative_apis = path.size();
+      stage.weighted_completeness =
+          path.empty() ? 0.0 : path.back().weighted_completeness;
+    }
+    stages.push_back(stage);
+  }
+  return stages;
+}
+
+std::vector<ApiId> SuggestNextApis(const StudyDataset& dataset,
+                                   const std::set<ApiId>& supported,
+                                   ApiKind kind, size_t count) {
+  std::vector<ApiId> suggestions;
+  for (const ApiId& api : dataset.RankByImportance(kind)) {
+    if (supported.find(api) == supported.end()) {
+      suggestions.push_back(api);
+      if (suggestions.size() >= count) {
+        break;
+      }
+    }
+  }
+  return suggestions;
+}
+
+}  // namespace lapis::core

@@ -1,0 +1,244 @@
+#include "src/core/dataset.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace lapis::core {
+
+const std::vector<PackageId> StudyDataset::kNoDependents;
+
+StudyDataset::StudyDataset(size_t package_count, uint64_t total_installations)
+    : total_installations_(total_installations),
+      names_(package_count),
+      install_counts_(package_count, 0),
+      footprints_(package_count),
+      depends_(package_count),
+      closures_(package_count) {}
+
+Status StudyDataset::CheckConstruction(PackageId id) {
+  if (finalized_) {
+    return FailedPreconditionError("dataset already finalized");
+  }
+  if (id >= names_.size()) {
+    return InvalidArgumentError("package id out of range");
+  }
+  return Status::Ok();
+}
+
+Status StudyDataset::SetPackageName(PackageId id, std::string name) {
+  LAPIS_RETURN_IF_ERROR(CheckConstruction(id));
+  names_[id] = std::move(name);
+  return Status::Ok();
+}
+
+Status StudyDataset::SetInstallCount(PackageId id, uint64_t count) {
+  LAPIS_RETURN_IF_ERROR(CheckConstruction(id));
+  if (count > total_installations_) {
+    return InvalidArgumentError("install count exceeds survey size");
+  }
+  install_counts_[id] = count;
+  return Status::Ok();
+}
+
+Status StudyDataset::SetFootprint(PackageId id, std::vector<ApiId> footprint) {
+  LAPIS_RETURN_IF_ERROR(CheckConstruction(id));
+  std::sort(footprint.begin(), footprint.end());
+  footprint.erase(std::unique(footprint.begin(), footprint.end()),
+                  footprint.end());
+  footprints_[id] = std::move(footprint);
+  return Status::Ok();
+}
+
+Status StudyDataset::SetDependencies(PackageId id,
+                                     std::vector<PackageId> depends) {
+  LAPIS_RETURN_IF_ERROR(CheckConstruction(id));
+  for (PackageId dep : depends) {
+    if (dep >= names_.size()) {
+      return InvalidArgumentError("dependency id out of range");
+    }
+  }
+  depends_[id] = std::move(depends);
+  return Status::Ok();
+}
+
+Status StudyDataset::Finalize() {
+  if (finalized_) {
+    return FailedPreconditionError("dataset already finalized");
+  }
+  // Dependents index.
+  for (PackageId id = 0; id < footprints_.size(); ++id) {
+    for (const ApiId& api : footprints_[id]) {
+      dependents_[api.Encode()].push_back(id);
+    }
+  }
+  // Dependency closures (BFS, cycle-safe).
+  std::vector<bool> visited(names_.size());
+  for (PackageId id = 0; id < names_.size(); ++id) {
+    std::fill(visited.begin(), visited.end(), false);
+    std::deque<PackageId> queue = {id};
+    while (!queue.empty()) {
+      PackageId current = queue.front();
+      queue.pop_front();
+      if (visited[current]) {
+        continue;
+      }
+      visited[current] = true;
+      closures_[id].push_back(current);
+      for (PackageId dep : depends_[current]) {
+        if (!visited[dep]) {
+          queue.push_back(dep);
+        }
+      }
+    }
+  }
+  // Name lookup.
+  for (PackageId id = 0; id < names_.size(); ++id) {
+    if (!names_[id].empty()) {
+      by_name_.emplace(names_[id], id);
+    }
+  }
+  finalized_ = true;
+  return Status::Ok();
+}
+
+PackageId StudyDataset::FindPackage(std::string_view name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? UINT32_MAX : it->second;
+}
+
+double StudyDataset::InstallProbability(PackageId id) const {
+  if (total_installations_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(install_counts_[id]) /
+         static_cast<double>(total_installations_);
+}
+
+const std::vector<ApiId>& StudyDataset::Footprint(PackageId id) const {
+  return footprints_[id];
+}
+
+const std::vector<PackageId>& StudyDataset::DependencyClosure(
+    PackageId id) const {
+  return closures_[id];
+}
+
+const std::vector<PackageId>& StudyDataset::Dependents(ApiId api) const {
+  auto it = dependents_.find(api.Encode());
+  return it == dependents_.end() ? kNoDependents : it->second;
+}
+
+double StudyDataset::ApiImportance(ApiId api) const {
+  double prob_none = 1.0;
+  for (PackageId pkg : Dependents(api)) {
+    prob_none *= 1.0 - InstallProbability(pkg);
+  }
+  return 1.0 - prob_none;
+}
+
+double StudyDataset::UnweightedImportance(ApiId api) const {
+  if (names_.empty()) {
+    return 0.0;
+  }
+  return static_cast<double>(Dependents(api).size()) /
+         static_cast<double>(names_.size());
+}
+
+std::vector<ApiId> StudyDataset::ApisOfKind(ApiKind kind) const {
+  std::vector<ApiId> out;
+  for (const auto& [encoded, pkgs] : dependents_) {
+    (void)pkgs;
+    ApiId api = ApiId::Decode(encoded);
+    if (api.kind == kind) {
+      out.push_back(api);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<ApiId> RankHelper(const StudyDataset& dataset, ApiKind kind,
+                              const std::vector<ApiId>& universe,
+                              bool weighted) {
+  std::set<ApiId> all;
+  for (const ApiId& api : dataset.ApisOfKind(kind)) {
+    all.insert(api);
+  }
+  for (const ApiId& api : universe) {
+    if (api.kind == kind) {
+      all.insert(api);
+    }
+  }
+  // Primary score: the requested importance. Secondary: the other metric —
+  // installations saturate the weighted importance of every widely-used API
+  // at exactly 1.0 (any dependent with install probability 1 does), so ties
+  // are broken by breadth of use, then by code for stability.
+  struct Scored {
+    double primary;
+    double secondary;
+    ApiId api;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(all.size());
+  for (const ApiId& api : all) {
+    double importance = dataset.ApiImportance(api);
+    double unweighted = dataset.UnweightedImportance(api);
+    if (weighted) {
+      scored.push_back(Scored{importance, unweighted, api});
+    } else {
+      scored.push_back(Scored{unweighted, importance, api});
+    }
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     if (a.primary != b.primary) {
+                       return a.primary > b.primary;
+                     }
+                     if (a.secondary != b.secondary) {
+                       return a.secondary > b.secondary;
+                     }
+                     return a.api < b.api;
+                   });
+  std::vector<ApiId> out;
+  out.reserve(scored.size());
+  for (const auto& entry : scored) {
+    out.push_back(entry.api);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ApiId> StudyDataset::RankByImportance(
+    ApiKind kind, const std::vector<ApiId>& universe) const {
+  return RankHelper(*this, kind, universe, /*weighted=*/true);
+}
+
+std::vector<ApiId> StudyDataset::RankByUnweightedImportance(
+    ApiKind kind, const std::vector<ApiId>& universe) const {
+  return RankHelper(*this, kind, universe, /*weighted=*/false);
+}
+
+StudyDataset::FootprintUniqueness StudyDataset::ComputeFootprintUniqueness()
+    const {
+  FootprintUniqueness result;
+  std::map<std::vector<ApiId>, size_t> counts;
+  for (const auto& fp : footprints_) {
+    if (fp.empty()) {
+      continue;
+    }
+    ++result.packages_with_footprint;
+    ++counts[fp];
+  }
+  result.distinct = counts.size();
+  for (const auto& [fp, count] : counts) {
+    (void)fp;
+    if (count == 1) {
+      ++result.unique;
+    }
+  }
+  return result;
+}
+
+}  // namespace lapis::core

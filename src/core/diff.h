@@ -1,0 +1,58 @@
+// Dataset comparison across releases.
+//
+// The paper notes (§2.4) that its dataset "does not include sufficient
+// historical data to compare changes to API usage over time" — but the
+// methodology supports exactly that once two releases have been analyzed.
+// CompareDatasets diffs two StudyDatasets: per-API importance movement,
+// appeared/vanished APIs, and headline metric drift. The release-diff bench
+// exercises it on two simulated releases.
+
+#ifndef LAPIS_SRC_CORE_DIFF_H_
+#define LAPIS_SRC_CORE_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+
+namespace lapis::core {
+
+struct ApiDelta {
+  ApiId api;
+  double importance_before = 0.0;
+  double importance_after = 0.0;
+  double unweighted_before = 0.0;
+  double unweighted_after = 0.0;
+
+  double ImportanceShift() const {
+    return importance_after - importance_before;
+  }
+  double UnweightedShift() const {
+    return unweighted_after - unweighted_before;
+  }
+};
+
+struct DatasetDiff {
+  // APIs whose importance moved by at least the threshold, sorted by
+  // |shift| descending.
+  std::vector<ApiDelta> moved;
+  // Used after but not before / before but not after.
+  std::vector<ApiId> appeared;
+  std::vector<ApiId> vanished;
+  size_t apis_compared = 0;
+};
+
+struct DiffOptions {
+  std::vector<ApiKind> kinds = {ApiKind::kSyscall};
+  double min_shift = 0.01;  // report movements of >= 1 point
+  // Compare unweighted importance instead (adoption trends, Tables 8-11).
+  bool unweighted = false;
+};
+
+DatasetDiff CompareDatasets(const StudyDataset& before,
+                            const StudyDataset& after,
+                            const DiffOptions& options = DiffOptions());
+
+}  // namespace lapis::core
+
+#endif  // LAPIS_SRC_CORE_DIFF_H_

@@ -1,0 +1,88 @@
+#include "src/core/libc_analysis.h"
+
+#include <algorithm>
+
+#include "src/core/completeness.h"
+
+namespace lapis::core {
+
+namespace {
+
+constexpr uint64_t kRelaEntryBytes = 24;  // sizeof(Elf64_Rela)
+
+}  // namespace
+
+LibcRestructureReport AnalyzeLibcRestructure(
+    const StudyDataset& dataset,
+    const std::map<uint32_t, uint64_t>& symbol_sizes, double threshold) {
+  LibcRestructureReport report;
+  report.importance_threshold = threshold;
+
+  std::set<ApiId> retained;
+  uint64_t total_bytes = 0;
+  uint64_t retained_bytes = 0;
+  for (const auto& [symbol_id, size] : symbol_sizes) {
+    ++report.total_apis;
+    total_bytes += size;
+    ApiId api{ApiKind::kLibcFn, symbol_id};
+    if (dataset.ApiImportance(api) >= threshold) {
+      ++report.retained_apis;
+      retained_bytes += size;
+      retained.insert(api);
+    }
+  }
+  report.retained_size_fraction =
+      total_bytes == 0 ? 0.0
+                       : static_cast<double>(retained_bytes) /
+                             static_cast<double>(total_bytes);
+
+  CompletenessOptions options;
+  options.evaluated_kinds = {ApiKind::kLibcFn};
+  report.stripped_weighted_completeness =
+      WeightedCompleteness(dataset, retained, options);
+
+  report.relocation_entries = report.total_apis;
+  report.relocation_bytes = report.total_apis * kRelaEntryBytes;
+  return report;
+}
+
+LibcVariantEvaluation EvaluateLibcVariant(const StudyDataset& dataset,
+                                          const LibcVariantProfile& profile,
+                                          size_t report_missing) {
+  LibcVariantEvaluation eval;
+  eval.name = profile.name;
+  eval.exported_count = profile.exported_symbols.size();
+
+  CompletenessOptions options;
+  options.evaluated_kinds = {ApiKind::kLibcFn};
+
+  // Raw: a package works iff every libc symbol it uses is exported verbatim.
+  std::set<ApiId> raw_supported;
+  for (uint32_t symbol : profile.exported_symbols) {
+    raw_supported.insert(ApiId{ApiKind::kLibcFn, symbol});
+  }
+  eval.weighted_completeness =
+      WeightedCompleteness(dataset, raw_supported, options);
+
+  // Normalized: GNU-libc compile-time replacements (printf -> __printf_chk
+  // etc.) are reversed before matching, so a use of __printf_chk counts as
+  // supported if the variant provides printf.
+  std::set<ApiId> normalized_supported = raw_supported;
+  for (const auto& [gnu_symbol, plain_symbol] : profile.normalization) {
+    if (profile.exported_symbols.count(plain_symbol) != 0) {
+      normalized_supported.insert(ApiId{ApiKind::kLibcFn, gnu_symbol});
+    }
+  }
+  eval.normalized_weighted_completeness =
+      WeightedCompleteness(dataset, normalized_supported, options);
+
+  // Most important missing symbols (after normalization).
+  for (const ApiId& api :
+       SuggestNextApis(dataset, normalized_supported, ApiKind::kLibcFn,
+                       report_missing)) {
+    eval.top_missing.push_back(api.code);
+  }
+  return eval;
+}
+
+}  // namespace lapis::core

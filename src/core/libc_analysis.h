@@ -1,0 +1,63 @@
+// libc restructuring analysis (paper §3.5) and libc variant evaluation
+// (paper §4.2, Table 7).
+
+#ifndef LAPIS_SRC_CORE_LIBC_ANALYSIS_H_
+#define LAPIS_SRC_CORE_LIBC_ANALYSIS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+
+namespace lapis::core {
+
+// §3.5: strip every libc export whose API importance is below `threshold`,
+// then measure what survives.
+struct LibcRestructureReport {
+  double importance_threshold = 0.0;
+  size_t total_apis = 0;
+  size_t retained_apis = 0;
+  // Fraction of libc code bytes kept (per-symbol sizes from .symtab).
+  double retained_size_fraction = 0.0;
+  // Weighted completeness of the stripped libc: probability a random
+  // installed package needs no removed function.
+  double stripped_weighted_completeness = 0.0;
+  // Relocation-table model: one entry per export.
+  size_t relocation_entries = 0;
+  size_t relocation_bytes = 0;  // 24 bytes/entry (Elf64_Rela)
+};
+
+// `symbol_sizes` maps interned libc symbol id -> code size in bytes.
+LibcRestructureReport AnalyzeLibcRestructure(
+    const StudyDataset& dataset,
+    const std::map<uint32_t, uint64_t>& symbol_sizes,
+    double threshold = 0.90);
+
+// Table 7: evaluate a libc variant by exported-symbol matching.
+struct LibcVariantProfile {
+  std::string name;
+  // Symbols the variant exports (interned ids in the study's libc universe).
+  std::set<uint32_t> exported_symbols;
+  // Variant-specific replacement reversal, e.g. "__printf_chk" -> "printf":
+  // maps a GNU-libc symbol id to the plain symbol id the variant provides.
+  std::map<uint32_t, uint32_t> normalization;
+};
+
+struct LibcVariantEvaluation {
+  std::string name;
+  size_t exported_count = 0;
+  double weighted_completeness = 0.0;             // raw symbol matching
+  double normalized_weighted_completeness = 0.0;  // after normalization
+  std::vector<uint32_t> top_missing;              // most-important absent ids
+};
+
+LibcVariantEvaluation EvaluateLibcVariant(const StudyDataset& dataset,
+                                          const LibcVariantProfile& profile,
+                                          size_t report_missing = 5);
+
+}  // namespace lapis::core
+
+#endif  // LAPIS_SRC_CORE_LIBC_ANALYSIS_H_

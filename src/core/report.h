@@ -1,0 +1,43 @@
+// Dataset export (the paper publishes its dataset at
+// oscar.cs.stonybrook.edu/api-compat-study; lapis exports the equivalent
+// artifacts as TSV so downstream users can analyze them with any tooling).
+
+#ifndef LAPIS_SRC_CORE_REPORT_H_
+#define LAPIS_SRC_CORE_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/api_id.h"
+#include "src/core/dataset.h"
+#include "src/util/status.h"
+
+namespace lapis::core {
+
+// Resolves an ApiId to a printable name using the study's interners (pass
+// empty interners to fall back to numeric codes).
+std::string ApiName(const ApiId& api, const StringInterner& path_interner,
+                    const StringInterner& libc_interner);
+
+// One row per API of the given kinds: kind, name, importance, unweighted
+// importance, dependent-package count. Sorted by descending importance.
+Status ExportImportanceTsv(const StudyDataset& dataset,
+                           const std::vector<ApiKind>& kinds,
+                           const StringInterner& path_interner,
+                           const StringInterner& libc_interner,
+                           std::ostream& os);
+
+// One row per package: name, install count, footprint size, syscall count.
+Status ExportPackagesTsv(const StudyDataset& dataset, std::ostream& os);
+
+// One row per (package, API) pair — the raw footprint relation (the
+// largest artifact; equivalent to the paper's footprint tables).
+Status ExportFootprintsTsv(const StudyDataset& dataset,
+                           const StringInterner& path_interner,
+                           const StringInterner& libc_interner,
+                           std::ostream& os);
+
+}  // namespace lapis::core
+
+#endif  // LAPIS_SRC_CORE_REPORT_H_

@@ -1,0 +1,68 @@
+// Seccomp policy generation from API footprints (paper §6: "generation of
+// seccomp policies can be easily automated using our framework, reducing
+// the system's attack surface in the event of an application compromise").
+//
+// A policy is a syscall allowlist with a default action; GeneratePolicy
+// derives one from a package's measured footprint, Render emits it in a
+// libseccomp-filter-like textual form, and Evaluate answers what the filter
+// would do for a given syscall — which the tests use to prove the policy is
+// exactly as permissive as the footprint.
+
+#ifndef LAPIS_SRC_CORE_SECCOMP_H_
+#define LAPIS_SRC_CORE_SECCOMP_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+
+namespace lapis::core {
+
+enum class SeccompAction : uint8_t {
+  kAllow,        // SECCOMP_RET_ALLOW
+  kErrno,        // SECCOMP_RET_ERRNO (fail the call with ENOSYS)
+  kKillProcess,  // SECCOMP_RET_KILL_PROCESS
+};
+
+const char* SeccompActionName(SeccompAction action);
+
+struct SeccompPolicy {
+  std::string subject;               // package or binary name
+  std::set<uint32_t> allowed;        // syscall numbers
+  SeccompAction default_action = SeccompAction::kKillProcess;
+  // Syscalls the subject never uses but which break too loudly when killed
+  // (the usual practice is to ENOSYS them instead); optional.
+  std::set<uint32_t> errno_syscalls;
+};
+
+struct SeccompGenOptions {
+  SeccompAction default_action = SeccompAction::kKillProcess;
+  // Also allow these numbers unconditionally (e.g. the runtime's own
+  // needs); merged into the allowlist.
+  std::set<uint32_t> always_allow;
+};
+
+// Builds the allowlist from the package's syscall footprint. Fails if the
+// package has no syscall footprint at all (a policy allowing nothing would
+// kill the process at startup — surface that instead of emitting it).
+Result<SeccompPolicy> GeneratePolicy(const StudyDataset& dataset,
+                                     PackageId package,
+                                     const SeccompGenOptions& options = {});
+
+// What the filter does for `syscall_nr`.
+SeccompAction Evaluate(const SeccompPolicy& policy, uint32_t syscall_nr);
+
+// Textual rendering (one rule per line, libseccomp-export style). The
+// `name_of` callback maps numbers to names; pass nullptr for numeric-only.
+std::string Render(const SeccompPolicy& policy,
+                   std::string (*name_of)(uint32_t) = nullptr);
+
+// Attack-surface statistic: how many of `universe_size` syscalls the
+// policy denies (paper: unused interfaces are "good targets for
+// deprecation, in the interest of reducing the system attack surface").
+size_t DeniedCount(const SeccompPolicy& policy, size_t universe_size);
+
+}  // namespace lapis::core
+
+#endif  // LAPIS_SRC_CORE_SECCOMP_H_

@@ -1,0 +1,37 @@
+#include "src/core/systems.h"
+
+namespace lapis::core {
+
+SystemEvaluation EvaluateSystem(const StudyDataset& dataset,
+                                const SystemProfile& profile,
+                                size_t suggestion_count) {
+  SystemEvaluation eval;
+  eval.name = profile.name;
+  eval.supported_count = profile.supported.size();
+
+  CompletenessOptions options;
+  options.evaluated_kinds = profile.evaluated_kinds;
+  eval.weighted_completeness =
+      WeightedCompleteness(dataset, profile.supported, options);
+
+  for (ApiKind kind : profile.evaluated_kinds) {
+    for (const ApiId& api :
+         SuggestNextApis(dataset, profile.supported, kind,
+                         suggestion_count)) {
+      eval.suggested.push_back(api);
+    }
+  }
+  if (eval.suggested.size() > suggestion_count) {
+    eval.suggested.resize(suggestion_count);
+  }
+
+  std::set<ApiId> augmented = profile.supported;
+  for (const ApiId& api : eval.suggested) {
+    augmented.insert(api);
+  }
+  eval.completeness_with_suggestions =
+      WeightedCompleteness(dataset, augmented, options);
+  return eval;
+}
+
+}  // namespace lapis::core

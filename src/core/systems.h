@@ -1,0 +1,44 @@
+// Evaluation of Linux systems / emulation layers (paper §4.1, Table 6).
+//
+// A system is "a set of implemented or translated APIs" (§2). Profiles for
+// UML, L4Linux, the FreeBSD Linux-emulation layer, and Graphene live in
+// src/corpus/calibration; this header provides the generic evaluator.
+
+#ifndef LAPIS_SRC_CORE_SYSTEMS_H_
+#define LAPIS_SRC_CORE_SYSTEMS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/completeness.h"
+#include "src/core/dataset.h"
+
+namespace lapis::core {
+
+struct SystemProfile {
+  std::string name;
+  // Supported APIs (typically ApiKind::kSyscall only).
+  std::set<ApiId> supported;
+  // Which kinds the evaluation covers (others assumed supported).
+  std::set<ApiKind> evaluated_kinds = {ApiKind::kSyscall};
+};
+
+struct SystemEvaluation {
+  std::string name;
+  size_t supported_count = 0;
+  double weighted_completeness = 0.0;
+  // Highest-importance APIs missing from the profile (the paper's
+  // "suggested APIs to add").
+  std::vector<ApiId> suggested;
+  // Completeness if the top `suggested` APIs were added.
+  double completeness_with_suggestions = 0.0;
+};
+
+SystemEvaluation EvaluateSystem(const StudyDataset& dataset,
+                                const SystemProfile& profile,
+                                size_t suggestion_count = 5);
+
+}  // namespace lapis::core
+
+#endif  // LAPIS_SRC_CORE_SYSTEMS_H_

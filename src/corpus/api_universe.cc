@@ -1,0 +1,584 @@
+#include "src/corpus/api_universe.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "src/corpus/syscall_table.h"
+#include "src/util/prng.h"
+
+namespace lapis::corpus {
+
+namespace {
+
+// Geometric interpolation from `from` to `to` across `steps` ranks.
+double GeomDecline(double from, double to, size_t step, size_t steps) {
+  if (steps <= 1) {
+    return from;
+  }
+  double t = static_cast<double>(step) / static_cast<double>(steps - 1);
+  return from * std::pow(to / from, t);
+}
+
+}  // namespace
+
+const std::vector<OpSpec>& IoctlOps() {
+  static const std::vector<OpSpec>* kList = [] {
+    auto* list = new std::vector<OpSpec>();
+    list->reserve(kIoctlOpCount);
+    // The 47 universal TTY / generic-IO operations (§3.3) plus 5 more
+    // near-universal ones, all at 100%.
+    struct Named {
+      const char* name;
+      uint32_t code;
+    };
+    static const Named kUniversal[] = {
+        {"TCGETS", 0x5401},        {"TCSETS", 0x5402},
+        {"TCSETSW", 0x5403},       {"TCSETSF", 0x5404},
+        {"TCGETA", 0x5405},        {"TCSETA", 0x5406},
+        {"TCSETAW", 0x5407},       {"TCSETAF", 0x5408},
+        {"TCSBRK", 0x5409},        {"TCXONC", 0x540a},
+        {"TCFLSH", 0x540b},        {"TIOCEXCL", 0x540c},
+        {"TIOCNXCL", 0x540d},      {"TIOCSCTTY", 0x540e},
+        {"TIOCGPGRP", 0x540f},     {"TIOCSPGRP", 0x5410},
+        {"TIOCOUTQ", 0x5411},      {"TIOCSTI", 0x5412},
+        {"TIOCGWINSZ", 0x5413},    {"TIOCSWINSZ", 0x5414},
+        {"TIOCMGET", 0x5415},      {"TIOCMBIS", 0x5416},
+        {"TIOCMBIC", 0x5417},      {"TIOCMSET", 0x5418},
+        {"TIOCGSOFTCAR", 0x5419},  {"TIOCSSOFTCAR", 0x541a},
+        {"FIONREAD", 0x541b},      {"TIOCLINUX", 0x541c},
+        {"TIOCCONS", 0x541d},      {"TIOCGSERIAL", 0x541e},
+        {"TIOCSSERIAL", 0x541f},   {"TIOCPKT", 0x5420},
+        {"FIONBIO", 0x5421},       {"TIOCNOTTY", 0x5422},
+        {"TIOCSETD", 0x5423},      {"TIOCGETD", 0x5424},
+        {"TCSBRKP", 0x5425},       {"TIOCSBRK", 0x5427},
+        {"TIOCCBRK", 0x5428},      {"TIOCGSID", 0x5429},
+        {"TIOCGPTN", 0x80045430},  {"TIOCSPTLCK", 0x40045431},
+        {"FIONCLEX", 0x5450},      {"FIOCLEX", 0x5451},
+        {"FIOASYNC", 0x5452},      {"FIOQSIZE", 0x5460},
+        {"FIOGETOWN", 0x8903},     {"FIOSETOWN", 0x8901},
+        {"SIOCGPGRP", 0x8904},     {"SIOCSPGRP", 0x8902},
+        {"SIOCATMARK", 0x8905},    {"SIOCGSTAMP", 0x8906},
+    };
+    for (const Named& op : kUniversal) {
+      list->push_back(OpSpec{op.code, op.name, 1.0});
+    }
+    // Frequently-seen-but-not-universal named operations.
+    static const Named kCommon[] = {
+        {"SIOCGIFCONF", 0x8912},   {"SIOCGIFFLAGS", 0x8913},
+        {"SIOCSIFFLAGS", 0x8914},  {"SIOCGIFADDR", 0x8915},
+        {"SIOCSIFADDR", 0x8916},   {"SIOCGIFMTU", 0x8921},
+        {"SIOCSIFMTU", 0x8922},    {"SIOCGIFHWADDR", 0x8927},
+        {"SIOCGIFINDEX", 0x8933},  {"SIOCGIFNAME", 0x8910},
+        {"SIOCETHTOOL", 0x8946},   {"SIOCGIFBRDADDR", 0x8919},
+        {"SIOCGIFNETMASK", 0x891b},{"SIOCADDRT", 0x890b},
+        {"SIOCDELRT", 0x890c},     {"BLKGETSIZE", 0x1260},
+        {"BLKSSZGET", 0x1268},     {"BLKGETSIZE64", 0x80081272},
+        {"BLKROGET", 0x125e},      {"BLKRRPART", 0x125f},
+        {"BLKFLSBUF", 0x1261},     {"FIGETBSZ", 0x2},
+        {"FIBMAP", 0x1},           {"FS_IOC_GETFLAGS", 0x80086601},
+        {"FS_IOC_SETFLAGS", 0x40086602}, {"KDGETMODE", 0x4b3b},
+        {"KDSETMODE", 0x4b3a},     {"KDGKBTYPE", 0x4b33},
+        {"VT_GETSTATE", 0x5603},   {"VT_ACTIVATE", 0x5606},
+        {"VT_WAITACTIVE", 0x5607}, {"EVIOCGVERSION", 0x80044501},
+        {"EVIOCGID", 0x80084502},  {"EVIOCGNAME", 0x82004506},
+        {"CDROM_GET_CAPABILITY", 0x5331}, {"CDROMEJECT", 0x5309},
+        {"LOOP_SET_FD", 0x4c00},   {"LOOP_CLR_FD", 0x4c01},
+        {"LOOP_GET_STATUS64", 0x4c05}, {"LOOP_SET_STATUS64", 0x4c04},
+        {"RTC_RD_TIME", 0x80247009}, {"RTC_SET_TIME", 0x4024700a},
+        {"HDIO_GETGEO", 0x301},    {"HDIO_GET_IDENTITY", 0x30d},
+        {"SG_IO", 0x2285},         {"SG_GET_VERSION_NUM", 0x2282},
+        {"KVM_GET_API_VERSION", 0xae00}, {"KVM_CREATE_VM", 0xae01},
+        {"KVM_RUN", 0xae80},       {"TUNSETIFF", 0x400454ca},
+        {"PERF_EVENT_IOC_ENABLE", 0x2400}, {"FIFREEZE", 0xc0045877},
+        {"FITHAW", 0xc0045878},    {"FITRIM", 0xc0185879},
+        {"USBDEVFS_CONTROL", 0xc0185500}, {"SNDRV_PCM_INFO", 0x81204101},
+        {"SNDRV_CTL_CARD_INFO", 0x81785501}, {"VIDIOC_QUERYCAP", 0x80685600},
+        {"VIDIOC_G_FMT", 0xc0d05604}, {"DRM_IOCTL_VERSION", 0xc0406400},
+    };
+    // Decline from 95% down to just above 1% across ranks 53..188.
+    {
+      size_t tail_common = kIoctlAbove1Pct - kIoctlTop100;  // 136 ranks
+      size_t named_common = sizeof(kCommon) / sizeof(kCommon[0]);
+      for (size_t i = 0; i < tail_common; ++i) {
+        double target = GeomDecline(0.95, 0.011, i, tail_common);
+        if (i < named_common) {
+          list->push_back(OpSpec{kCommon[i].code, kCommon[i].name, target});
+        } else {
+          char name[32];
+          std::snprintf(name, sizeof(name), "IOC_COMMON_%zu", i);
+          list->push_back(
+              OpSpec{static_cast<uint32_t>(0x20000 + i), name, target});
+        }
+      }
+    }
+    // Ranks 189..280: used by at least one binary, importance <1%.
+    for (size_t i = list->size(); i < kIoctlUsed; ++i) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "IOC_RARE_%zu", i);
+      double target = GeomDecline(0.009, 0.0005, i - kIoctlAbove1Pct,
+                                  kIoctlUsed - kIoctlAbove1Pct);
+      list->push_back(OpSpec{static_cast<uint32_t>(0x30000 + i), name,
+                             target});
+    }
+    // Ranks 281..635: defined by drivers/modules, never used (§3.3: "a very
+    // long tail of unused operations").
+    for (size_t i = list->size(); i < kIoctlOpCount; ++i) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "IOC_DRV_%zu", i);
+      list->push_back(OpSpec{static_cast<uint32_t>(0x40000 + i), name, 0.0});
+    }
+    return list;
+  }();
+  return *kList;
+}
+
+const std::vector<OpSpec>& FcntlOps() {
+  static const std::vector<OpSpec>* kList = [] {
+    auto* list = new std::vector<OpSpec>();
+    // Eleven ops at ~100% (paper Fig 5 left), then a short tail.
+    struct Named {
+      const char* name;
+      uint32_t code;
+      double target;
+    };
+    static const Named kOps[] = {
+        {"F_DUPFD", 0, 1.0},          {"F_GETFD", 1, 1.0},
+        {"F_SETFD", 2, 1.0},          {"F_GETFL", 3, 1.0},
+        {"F_SETFL", 4, 1.0},          {"F_GETLK", 5, 1.0},
+        {"F_SETLK", 6, 1.0},          {"F_SETLKW", 7, 1.0},
+        {"F_SETOWN", 8, 1.0},         {"F_GETOWN", 9, 1.0},
+        {"F_DUPFD_CLOEXEC", 1030, 1.0},
+        {"F_SETSIG", 10, 0.62},       {"F_GETSIG", 11, 0.41},
+        {"F_SETLEASE", 1024, 0.26},   {"F_GETLEASE", 1025, 0.17},
+        {"F_NOTIFY", 1026, 0.08},     {"F_SETPIPE_SZ", 1031, 0.04},
+        {"F_GETPIPE_SZ", 1032, 0.02},
+    };
+    for (const Named& op : kOps) {
+      list->push_back(OpSpec{op.code, op.name, op.target});
+    }
+    return list;
+  }();
+  return *kList;
+}
+
+const std::vector<OpSpec>& PrctlOps() {
+  static const std::vector<OpSpec>* kList = [] {
+    auto* list = new std::vector<OpSpec>();
+    struct Named {
+      const char* name;
+      uint32_t code;
+      double target;
+    };
+    // Nine at ~100%, eighteen above 20% total, long low tail (Fig 5 right).
+    static const Named kOps[] = {
+        {"PR_SET_NAME", 15, 1.0},       {"PR_GET_NAME", 16, 1.0},
+        {"PR_SET_PDEATHSIG", 1, 1.0},   {"PR_GET_PDEATHSIG", 2, 1.0},
+        {"PR_SET_DUMPABLE", 4, 1.0},    {"PR_GET_DUMPABLE", 3, 1.0},
+        {"PR_SET_SECCOMP", 22, 1.0},    {"PR_GET_SECCOMP", 21, 1.0},
+        {"PR_SET_NO_NEW_PRIVS", 38, 1.0},
+        {"PR_GET_NO_NEW_PRIVS", 39, 0.88}, {"PR_SET_KEEPCAPS", 8, 0.74},
+        {"PR_GET_KEEPCAPS", 7, 0.61},   {"PR_CAPBSET_READ", 23, 0.52},
+        {"PR_CAPBSET_DROP", 24, 0.44},  {"PR_SET_SECUREBITS", 28, 0.37},
+        {"PR_GET_SECUREBITS", 27, 0.31},{"PR_SET_TIMERSLACK", 29, 0.26},
+        {"PR_GET_TIMERSLACK", 30, 0.22},
+        {"PR_SET_CHILD_SUBREAPER", 36, 0.16},
+        {"PR_GET_CHILD_SUBREAPER", 37, 0.12},
+        {"PR_SET_PTRACER", 0x59616d61, 0.09},
+        {"PR_SET_TSC", 26, 0.07},       {"PR_GET_TSC", 25, 0.05},
+        {"PR_SET_ENDIAN", 20, 0.04},    {"PR_GET_ENDIAN", 19, 0.03},
+        {"PR_SET_FPEMU", 10, 0.025},    {"PR_GET_FPEMU", 9, 0.02},
+        {"PR_SET_FPEXC", 12, 0.017},    {"PR_GET_FPEXC", 11, 0.014},
+        {"PR_SET_UNALIGN", 6, 0.011},   {"PR_GET_UNALIGN", 5, 0.009},
+        {"PR_SET_TIMING", 14, 0.007},   {"PR_GET_TIMING", 13, 0.006},
+        {"PR_MCE_KILL", 33, 0.005},     {"PR_MCE_KILL_GET", 34, 0.004},
+        {"PR_SET_MM", 35, 0.003},       {"PR_TASK_PERF_EVENTS_DISABLE", 31,
+                                         0.002},
+        {"PR_TASK_PERF_EVENTS_ENABLE", 32, 0.002},
+        {"PR_SET_THP_DISABLE", 41, 0.001},
+        {"PR_GET_THP_DISABLE", 42, 0.001},
+        {"PR_GET_TID_ADDRESS", 40, 0.0},
+        {"PR_SET_SECCOMP_LEGACY", 43, 0.0},
+        {"PR_MPX_ENABLE_MANAGEMENT", 44, 0.0},
+        {"PR_MPX_DISABLE_MANAGEMENT", 45, 0.0},
+    };
+    for (const Named& op : kOps) {
+      list->push_back(OpSpec{op.code, op.name, op.target});
+    }
+    return list;
+  }();
+  return *kList;
+}
+
+const std::vector<PseudoFileSpec>& PseudoFiles() {
+  static const std::vector<PseudoFileSpec>* kList = [] {
+    auto* list = new std::vector<PseudoFileSpec>();
+    auto add = [list](const char* path, double target, double bin_frac) {
+      list->push_back(PseudoFileSpec{path, target, bin_frac});
+    };
+    // §3.4 anchors: of 12,039 binaries with a hard-coded path, 3,324 touch
+    // /dev/null and 439 touch /proc/cpuinfo.
+    add("/dev/null", 1.0, 0.0500);
+    add("/dev/tty", 1.0, 0.0220);
+    add("/dev/urandom", 1.0, 0.0190);
+    add("/proc/self/exe", 1.0, 0.0150);
+    add("/proc/%/cmdline", 1.0, 0.0120);
+    add("/proc/cpuinfo", 1.0, 0.0066);
+    add("/dev/zero", 1.0, 0.0062);
+    add("/proc/meminfo", 1.0, 0.0055);
+    add("/proc/self/maps", 0.99, 0.0045);
+    add("/proc/%/stat", 0.98, 0.0040);
+    add("/proc/mounts", 0.97, 0.0038);
+    add("/dev/console", 0.95, 0.0030);
+    add("/proc/%/status", 0.93, 0.0028);
+    add("/proc/stat", 0.90, 0.0026);
+    add("/dev/random", 0.88, 0.0024);
+    add("/proc/filesystems", 0.84, 0.0022);
+    add("/dev/pts", 0.80, 0.0020);
+    add("/proc/self/fd", 0.77, 0.0019);
+    add("/proc/loadavg", 0.71, 0.0018);
+    add("/proc/uptime", 0.66, 0.0016);
+    add("/dev/stdin", 0.60, 0.0015);
+    add("/dev/stdout", 0.57, 0.0015);
+    add("/dev/stderr", 0.54, 0.0014);
+    add("/proc/version", 0.48, 0.0013);
+    add("/sys/devices/system/cpu", 0.44, 0.0012);
+    add("/proc/net/dev", 0.39, 0.0011);
+    add("/proc/sys/kernel/osrelease", 0.34, 0.0010);
+    add("/proc/net/tcp", 0.29, 0.0009);
+    add("/dev/ptmx", 0.26, 0.0009);
+    add("/sys/class/net", 0.22, 0.0008);
+    add("/proc/diskstats", 0.19, 0.0007);
+    add("/proc/%/fd", 0.16, 0.0007);
+    add("/sys/block", 0.13, 0.0006);
+    add("/dev/full", 0.11, 0.0005);
+    add("/proc/swaps", 0.09, 0.0005);
+    add("/dev/mem", 0.075, 0.0004);
+    add("/proc/partitions", 0.06, 0.0004);
+    add("/dev/hda", 0.05, 0.0003);
+    add("/dev/sda", 0.045, 0.0003);
+    add("/proc/interrupts", 0.035, 0.0003);
+    add("/sys/power/state", 0.028, 0.0002);
+    add("/proc/modules", 0.022, 0.0002);
+    add("/proc/kallsyms", 0.017, 0.0002);
+    add("/dev/kvm", 0.012, 0.0001);
+    add("/dev/fuse", 0.009, 0.0001);
+    add("/sys/kernel/mm/transparent_hugepage/enabled", 0.006, 0.0001);
+    add("/proc/sys/vm/overcommit_memory", 0.004, 0.0001);
+    add("/dev/watchdog", 0.003, 0.0001);
+    add("/proc/sysrq-trigger", 0.002, 0.0001);
+    add("/sys/class/thermal", 0.001, 0.0001);
+    return list;
+  }();
+  return *kList;
+}
+
+namespace {
+
+std::vector<LibcSymbolSpec>* BuildLibcUniverse() {
+  auto* list = new std::vector<LibcSymbolSpec>();
+  list->reserve(kLibcSymbolCount);
+  std::set<std::string> used_names;
+  lapis::Prng size_prng(0x11bc5eed);
+
+  auto synth_size = [&size_prng](LibcBand band) -> uint32_t {
+    // Hot symbols (printf, malloc, the syscall wrappers' shared plumbing)
+    // are feature-rich and big; the obscure tail is mostly small compat
+    // shims. Stripping below-90%-importance symbols therefore keeps a
+    // larger share of bytes than of symbols (§3.5 reports 63% of bytes).
+    uint64_t base = 48 + size_prng.NextBelow(120);
+    switch (band) {
+      case LibcBand::kUniversal:
+      case LibcBand::kCommonPool:
+        return static_cast<uint32_t>(base + 120 + size_prng.NextBelow(260));
+      case LibcBand::kMid:
+        return static_cast<uint32_t>(base + 40 + size_prng.NextBelow(120));
+      case LibcBand::kTail:
+      case LibcBand::kUnused:
+        return static_cast<uint32_t>(base);
+    }
+    return static_cast<uint32_t>(base);
+  };
+
+  auto add = [&](std::string name, LibcBand band, double target,
+                 int wraps = -1, std::string chk_base = "",
+                 bool gnu_ext = false) {
+    if (!used_names.insert(name).second) {
+      return;  // syscall wrappers and classic APIs overlap (e.g. "time")
+    }
+    LibcSymbolSpec spec;
+    spec.name = std::move(name);
+    spec.band = band;
+    spec.importance_target = target;
+    spec.code_size = synth_size(band);
+    spec.wraps_syscall = wraps;
+    spec.chk_base = std::move(chk_base);
+    spec.gnu_extension = gnu_ext;
+    list->push_back(std::move(spec));
+  };
+
+  // ---- 1. Syscall wrappers: one export per non-retired syscall. Their
+  // importance follows the wrapped syscall's, so the band is resolved later
+  // by the spec builder; mark as kMid placeholder with target from tier.
+  for (int nr = 0; nr < kSyscallCount; ++nr) {
+    bool unused = false;
+    for (int u : UnusedSyscalls()) {
+      if (u == nr) {
+        unused = true;
+        break;
+      }
+    }
+    if (unused) {
+      continue;
+    }
+    // The wrapper band is refined by DistroSpec; default mid.
+    add(std::string(SyscallName(nr)), LibcBand::kMid, 0.5, nr);
+  }
+
+  // ---- 2. Universal cleanup/prologue symbols: every executable calls
+  // these (drives Table 7's dietlibc row: missing __cxa_finalize or
+  // memalign breaks everything).
+  for (const char* name :
+       {"__libc_start_main", "__cxa_finalize", "__cxa_atexit", "exit_fn",
+        "memalign", "__stack_chk_fail", "__errno_location"}) {
+    add(name, LibcBand::kUniversal, 1.0);
+  }
+
+  // ---- 3. Fortify (_chk) variants: GNU libc headers substitute these at
+  // compile time; nearly every Ubuntu binary imports some (Table 7).
+  for (const char* base :
+       {"printf", "fprintf", "sprintf", "snprintf", "vsnprintf", "memcpy",
+        "memmove", "memset", "strcpy", "strncpy", "strcat", "strncat",
+        "read", "pread64", "recv", "gets", "fgets", "getcwd", "realpath",
+        "wcscpy", "confstr", "ttyname_r", "gethostname", "longjmp"}) {
+    add(std::string("__") + base + "_chk", LibcBand::kUniversal, 1.0, -1,
+        base);
+  }
+
+  // ---- 4. Common pool: classic libc APIs used by most executables.
+  for (const char* name : {
+           "malloc", "free", "calloc", "realloc", "strlen", "strcmp",
+           "strncmp", "strcpy", "strncpy", "strcat", "strncat", "strchr",
+           "strrchr", "strstr", "strtok", "strdup", "strndup", "strcasecmp",
+           "strncasecmp", "strerror", "strtol", "strtoul", "strtoll",
+           "strtoull", "strtod", "atoi", "atol", "atof", "memcpy", "memmove",
+           "memset", "memcmp", "memchr", "printf", "fprintf", "sprintf",
+           "snprintf", "vprintf", "vfprintf", "vsnprintf", "sscanf",
+           "fscanf", "scanf", "puts", "fputs", "putchar", "fputc", "getchar",
+           "fgetc", "fgets", "fopen", "fclose", "fread", "fwrite", "fseek",
+           "ftell", "rewind", "fflush", "feof", "ferror", "fileno", "fdopen",
+           "freopen", "setvbuf", "setbuf", "perror", "remove", "tmpfile",
+           "getenv", "setenv", "unsetenv", "putenv", "system", "abort",
+           "atexit", "exit", "_exit", "qsort", "bsearch", "rand", "srand",
+           "random", "srandom", "abs", "labs", "div", "ldiv", "getopt",
+           "getopt_long", "isalpha", "isdigit", "isalnum", "isspace",
+           "isupper", "islower", "toupper", "tolower", "time", "ctime",
+           "gmtime", "localtime", "mktime", "strftime", "difftime",
+           "gettimeofday", "clock", "nanosleep", "sleep", "usleep", "alarm",
+           "signal", "sigaction", "sigemptyset", "sigfillset", "sigaddset",
+           "sigdelset", "sigprocmask", "raise", "pause", "setjmp", "longjmp",
+           "opendir", "readdir", "closedir", "rewinddir", "scandir",
+           "mkstemp", "mkdtemp", "tmpnam", "basename", "dirname", "realpath",
+           "getcwd", "isatty", "ttyname", "getpwnam", "getpwuid", "getgrnam",
+           "getgrgid", "getlogin", "gethostname", "sethostname",
+           "gethostbyname", "getaddrinfo", "freeaddrinfo", "gai_strerror",
+           "inet_ntoa", "inet_addr", "inet_pton", "inet_ntop", "htons",
+           "htonl", "ntohs", "ntohl", "socketpair", "setlocale",
+           "localeconv", "nl_langinfo", "iconv", "iconv_open", "iconv_close",
+           "dlopen", "dlsym", "dlclose", "dlerror", "pthread_create",
+           "pthread_join", "pthread_detach", "pthread_self", "pthread_exit",
+           "pthread_mutex_init", "pthread_mutex_lock", "pthread_mutex_unlock",
+           "pthread_mutex_destroy", "pthread_cond_init", "pthread_cond_wait",
+           "pthread_cond_signal", "pthread_cond_broadcast",
+           "pthread_cond_destroy", "pthread_once", "pthread_key_create",
+           "pthread_getspecific", "pthread_setspecific", "pthread_attr_init",
+           "pthread_attr_destroy", "pthread_attr_setdetachstate",
+           "pthread_sigmask", "pthread_kill", "sem_init", "sem_wait",
+           "sem_post", "sem_destroy", "fnmatch", "glob", "globfree", "regcomp",
+           "regexec", "regfree", "regerror", "wordexp", "ftw", "nftw",
+           "getline", "getdelim", "asprintf", "vasprintf", "strsep",
+           "strpbrk", "strspn", "strcspn", "strcoll", "strxfrm", "mbstowcs",
+           "wcstombs", "mbtowc", "wctomb", "wcslen", "wcscpy", "wcscmp",
+           "swprintf", "fwprintf", "err", "errx", "warn", "warnx", "error",
+           "getpagesize", "sysconf", "pathconf", "fpathconf", "confstr",
+           "recv", "send", "gets", "ttyname_r", "strtok_r", "gmtime_r",
+           "localtime_r", "ctime_r", "rand_r", "readdir_r", "getpwnam_r",
+           "getpwuid_r", "getgrnam_r", "getgrgid_r", "gethostbyname_r",
+           "uname", "getrusage", "getloadavg", "daemon", "setsid_fn",
+           "openlog", "syslog", "closelog", "getpass", "crypt", "ftime",
+           "clearerr", "ungetc", "popen", "pclose", "execl", "execlp",
+           "execle", "execv", "execvp", "execvpe", "waitpid", "on_exit",
+           "gcvt", "ecvt", "fcvt", "mblen", "lldiv", "imaxabs", "imaxdiv",
+           "strtoimax", "strtoumax", "wcstol", "wcstoul", "wcstod",
+           "towupper", "towlower", "iswalpha", "iswdigit", "iswspace",
+           "getgroups_fn", "initgroups", "setgroups_fn", "getsubopt",
+           "hcreate", "hsearch", "hdestroy", "tsearch", "tfind", "tdelete",
+           "twalk", "lfind", "lsearch", "insque", "remque", "swab",
+           "ffs", "index", "rindex", "bzero", "bcopy", "bcmp", "mempcpy",
+           "stpcpy", "stpncpy", "strchrnul", "rawmemchr", "memrchr",
+           "strverscmp", "strfry", "memfrob", "l64a", "a64l", "drand48",
+           "erand48", "lrand48", "nrand48", "mrand48", "jrand48", "srand48",
+           "seed48", "lcong48", "getdate", "timegm", "timelocal",
+           "dysize", "adjtime", "getitimer_fn", "setitimer_fn",
+           "clearenv", "mkostemp", "mkstemps", "mkostemps", "ptsname",
+           "grantpt", "unlockpt", "posix_openpt", "ctermid", "cuserid",
+           "flockfile", "ftrylockfile", "funlockfile", "getc_unlocked",
+           "putc_unlocked", "fgets_unlocked", "fputs_unlocked",
+       }) {
+    add(name, LibcBand::kCommonPool, 1.0);
+  }
+
+  // ---- 5. GNU extensions (absent from uClibc/musl; Table 7 normalized
+  // gap). Used by the high-capability half of packages.
+  for (const char* name : {
+           "secure_getenv", "random_r", "srandom_r", "initstate_r",
+           "setstate_r", "qsort_r", "mallinfo", "malloc_trim",
+           "malloc_usable_size", "mallopt", "mcheck", "mprobe", "mtrace",
+           "muntrace", "backtrace", "backtrace_symbols",
+           "backtrace_symbols_fd", "program_invocation_name",
+           "program_invocation_short_name", "canonicalize_file_name",
+           "euidaccess", "eaccess", "get_current_dir_name", "group_member",
+           "getresuid_fn", "getresgid_fn", "fopencookie", "open_memstream",
+           "fmemopen", "obstack_free", "argp_parse", "argp_usage",
+           "argz_add", "argz_count", "argz_create", "envz_add", "envz_get",
+           "fgetxattr_fn", "versionsort", "strcasestr", "memmem",
+           "parse_printf_format", "register_printf_function", "fts_open",
+           "fts_read", "fts_close", "getauxval", "__uflow", "__overflow",
+       }) {
+    add(name, LibcBand::kMid, 0.0, -1, "", /*gnu_ext=*/true);
+  }
+
+  // ---- 6. Mid band: real-but-less-common APIs with declining targets.
+  {
+    static const char* kMidNames[] = {
+        "getspnam", "getspent", "putspent", "sgetspent", "fgetspent",
+        "getutent", "getutid", "getutline", "pututline", "utmpname",
+        "updwtmp", "login_tty", "openpty", "forkpty", "getttyent",
+        "getttynam", "setttyent", "endttyent", "getfsent", "getfsspec",
+        "getfsfile", "setfsent", "endfsent", "getmntent", "setmntent",
+        "addmntent", "endmntent", "hasmntopt", "getnetent", "getnetbyname",
+        "getnetbyaddr", "getprotoent", "getprotobyname", "getprotobynumber",
+        "getservent", "getservbyname", "getservbyport", "getrpcent",
+        "getrpcbyname", "getrpcbynumber", "ether_ntoa", "ether_aton",
+        "ether_ntohost", "ether_hostton", "ether_line", "res_init",
+        "res_query", "res_search", "res_querydomain", "res_mkquery",
+        "dn_expand", "dn_comp", "herror", "hstrerror", "rcmd", "rresvport",
+        "ruserok", "rexec", "iruserok", "sigpause", "sigblock", "sigsetmask",
+        "siggetmask", "sigvec", "sigstack", "sigreturn_fn", "sigwait",
+        "sigwaitinfo", "sigtimedwait", "sigqueue", "sigisemptyset",
+        "sigandset", "sigorset", "psignal", "psiginfo", "strsignal",
+        "wcwidth", "wcswidth", "wcsncpy", "wcsncmp", "wcscat", "wcsncat",
+        "wcschr", "wcsrrchr", "wcsstr", "wcstok", "wcsdup", "wcscasecmp",
+        "wmemcpy", "wmemmove", "wmemset", "wmemcmp", "wmemchr", "fgetws",
+        "fputws", "getwc", "putwc", "ungetwc", "fwide", "wprintf",
+        "vwprintf", "wscanf", "btowc", "wctob", "mbrlen", "mbrtowc",
+        "wcrtomb", "mbsrtowcs", "wcsrtombs", "mbsinit", "wctype", "iswctype",
+        "wctrans", "towctrans", "catopen", "catgets", "catclose", "gettext",
+        "dgettext", "dcgettext", "ngettext", "dngettext", "dcngettext",
+        "textdomain", "bindtextdomain", "bind_textdomain_codeset",
+        "posix_spawn", "posix_spawnp", "posix_spawn_file_actions_init",
+        "posix_spawn_file_actions_destroy", "posix_spawnattr_init",
+        "posix_spawnattr_destroy", "posix_memalign", "aligned_alloc",
+        "valloc", "pvalloc", "posix_fadvise", "posix_fallocate",
+        "posix_madvise", "sched_getcpu", "pthread_rwlock_init",
+        "pthread_rwlock_rdlock", "pthread_rwlock_wrlock",
+        "pthread_rwlock_unlock", "pthread_rwlock_destroy",
+        "pthread_barrier_init", "pthread_barrier_wait",
+        "pthread_barrier_destroy", "pthread_spin_init", "pthread_spin_lock",
+        "pthread_spin_unlock", "pthread_spin_destroy", "pthread_cancel",
+        "pthread_setcancelstate", "pthread_setcanceltype",
+        "pthread_testcancel", "pthread_cleanup_push", "pthread_cleanup_pop",
+        "pthread_atfork", "pthread_getattr_np", "pthread_setname_np",
+        "pthread_getname_np", "pthread_setaffinity_np",
+        "pthread_getaffinity_np", "pthread_yield", "pthread_equal",
+        "pthread_mutexattr_init", "pthread_mutexattr_settype",
+        "pthread_mutexattr_destroy", "pthread_condattr_init",
+        "pthread_condattr_setclock", "pthread_condattr_destroy",
+        "sem_open", "sem_close", "sem_unlink", "sem_trywait",
+        "sem_timedwait", "sem_getvalue", "mq_open_fn", "mq_close",
+        "mq_send", "mq_receive", "mq_setattr", "mq_getattr", "aio_read",
+        "aio_write", "aio_error", "aio_return", "aio_suspend", "aio_cancel",
+        "lio_listio", "clock_gettime_fn", "clock_settime_fn",
+        "clock_getres_fn", "clock_nanosleep_fn", "timer_create_fn",
+        "timer_settime_fn", "timer_gettime_fn", "timer_delete_fn",
+        "timer_getoverrun_fn", "shm_open", "shm_unlink", "mlock_fn",
+        "munlock_fn", "mlockall_fn", "munlockall_fn", "swapcontext",
+        "makecontext", "getcontext", "setcontext", "sigaltstack_fn",
+        "acct_fn", "brk_fn", "sbrk", "getpriority_fn", "setpriority_fn",
+        "nice", "getdtablesize", "ulimit", "vlimit", "vtimes", "profil",
+        "moncontrol", "monstartup", "gtty", "stty", "sstk", "revoke",
+        "vhangup_fn", "endusershell", "getusershell", "setusershell",
+        "seteuid", "setegid", "setlogin", "getpt", "sethostid", "gethostid",
+        "getdomainname", "setdomainname_fn", "iopl_fn", "ioperm_fn",
+        "klogctl", "quotactl_fn", "query_module_fn", "nfsservctl_fn",
+    };
+    // The first ~130 are the genuine mid band (1%..97%); the rest are
+    // obscure-but-real entry points that fall into the sub-1% tail, which
+    // dominates the real libc's export surface (Fig 7: 39.7% below 1%).
+    size_t count = sizeof(kMidNames) / sizeof(kMidNames[0]);
+    constexpr size_t kMidCut = 130;
+    for (size_t i = 0; i < count; ++i) {
+      if (i < kMidCut) {
+        add(kMidNames[i], LibcBand::kMid, GeomDecline(0.97, 0.011, i,
+                                                      kMidCut));
+      } else {
+        add(kMidNames[i], LibcBand::kTail,
+            GeomDecline(0.009, 0.0004, i - kMidCut, count - kMidCut));
+      }
+    }
+  }
+
+  // ---- 7. Fill the remainder with the <1% tail (obscure-but-real locale,
+  // nss and compat entry points, modeled with systematic names) and the
+  // 222 unused exports (§6).
+  const size_t unused_target = 222;
+  while (list->size() < kLibcSymbolCount - unused_target) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "__nss_compat_entry_%03zu",
+                  list->size());
+    double target = GeomDecline(0.009, 0.0002,
+                                list->size() % 97, 97);
+    add(name, LibcBand::kTail, target);
+  }
+  size_t unused_index = 0;
+  while (list->size() < kLibcSymbolCount) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "__libc_obsolete_%03zu",
+                  unused_index++);
+    add(name, LibcBand::kUnused, 0.0);
+  }
+  return list;
+}
+
+}  // namespace
+
+const std::vector<LibcSymbolSpec>& LibcUniverse() {
+  static const std::vector<LibcSymbolSpec>* kList = BuildLibcUniverse();
+  return *kList;
+}
+
+LibcBandCounts CountLibcBands() {
+  LibcBandCounts counts;
+  for (const auto& spec : LibcUniverse()) {
+    switch (spec.band) {
+      case LibcBand::kUniversal:
+        ++counts.universal;
+        break;
+      case LibcBand::kCommonPool:
+        ++counts.common;
+        break;
+      case LibcBand::kMid:
+        ++counts.mid;
+        break;
+      case LibcBand::kTail:
+        ++counts.tail;
+        break;
+      case LibcBand::kUnused:
+        ++counts.unused;
+        break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace lapis::corpus

@@ -1,0 +1,96 @@
+// Universes of the non-syscall API families the study covers (§3.3-§3.5):
+// ioctl/fcntl/prctl operation codes, pseudo-files under /proc, /sys and
+// /dev, and the GNU libc export surface. Each entry carries a calibration
+// target (the API importance the paper's figures report at its rank) which
+// the distribution generator realizes.
+
+#ifndef LAPIS_SRC_CORPUS_API_UNIVERSE_H_
+#define LAPIS_SRC_CORPUS_API_UNIVERSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lapis::corpus {
+
+// ---- Vectored system-call opcodes ----
+
+inline constexpr size_t kIoctlOpCount = 635;   // defined in Linux 3.19
+inline constexpr size_t kIoctlTop100 = 52;     // ops with 100% importance
+inline constexpr size_t kIoctlAbove1Pct = 188; // ops with >1% importance
+inline constexpr size_t kIoctlUsed = 280;      // ops used by any binary
+
+inline constexpr size_t kFcntlOpCount = 18;
+inline constexpr size_t kFcntlTop100 = 11;
+
+inline constexpr size_t kPrctlOpCount = 44;
+inline constexpr size_t kPrctlTop100 = 9;
+inline constexpr size_t kPrctlAbove20Pct = 18;
+
+struct OpSpec {
+  uint32_t code = 0;
+  std::string name;
+  // Target API importance at this op's rank (1.0 for the universal TTY and
+  // generic-IO group; geometric decline along the tail; 0 for unused).
+  double importance_target = 0.0;
+};
+
+// Ordered by descending importance target.
+const std::vector<OpSpec>& IoctlOps();
+const std::vector<OpSpec>& FcntlOps();
+const std::vector<OpSpec>& PrctlOps();
+
+// ---- Pseudo-files (§3.4, Fig 6) ----
+
+struct PseudoFileSpec {
+  std::string path;  // canonical; "%" marks a formatted component
+  double importance_target = 0.0;
+  // Fraction of ELF executables hard-coding this path (drives the binary
+  // counts the paper reports, e.g. 3,324 of 12,039 for /dev/null).
+  double binary_fraction = 0.0;
+};
+
+const std::vector<PseudoFileSpec>& PseudoFiles();
+
+// ---- GNU libc export universe (§3.5, Fig 7, Table 7) ----
+
+inline constexpr size_t kLibcSymbolCount = 1274;
+
+// Usage band controlling how the generator wires a symbol into packages.
+enum class LibcBand : uint8_t {
+  kUniversal,   // called from every executable (prologue/cleanup set)
+  kCommonPool,  // sampled by most executables -> importance ~100%
+  kMid,         // dedicated package sets, importance 1%..100%
+  kTail,        // 0-2 rare packages, importance <1%
+  kUnused,      // exported but never called (222 symbols, §6)
+};
+
+struct LibcSymbolSpec {
+  std::string name;
+  LibcBand band = LibcBand::kUnused;
+  double importance_target = 0.0;  // meaningful for kMid / kTail
+  uint32_t code_size = 0;          // synthetic body size (for §3.5 sizing)
+  int wraps_syscall = -1;          // syscall this export wraps, or -1
+  // For __*_chk fortify variants: the plain symbol they replace (Table 7
+  // normalization); empty otherwise.
+  std::string chk_base;
+  // True for GNU-specific extensions absent from uClibc/musl (drives the
+  // Table 7 normalized-completeness gap).
+  bool gnu_extension = false;
+};
+
+const std::vector<LibcSymbolSpec>& LibcUniverse();
+
+// Number of symbols in each band (sanity totals used by tests).
+struct LibcBandCounts {
+  size_t universal = 0;
+  size_t common = 0;
+  size_t mid = 0;
+  size_t tail = 0;
+  size_t unused = 0;
+};
+LibcBandCounts CountLibcBands();
+
+}  // namespace lapis::corpus
+
+#endif  // LAPIS_SRC_CORPUS_API_UNIVERSE_H_

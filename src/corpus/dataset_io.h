@@ -1,0 +1,42 @@
+// Study-dataset persistence.
+//
+// The paper publishes its dataset for further analysis; lapis does the
+// equivalent with a compact binary artifact holding the joined study data
+// (per-package footprints, survey counts, dependency edges, interner
+// tables). A saved artifact reloads in milliseconds, so downstream tools
+// can query metrics without regenerating and re-analyzing the corpus.
+
+#ifndef LAPIS_SRC_CORPUS_DATASET_IO_H_
+#define LAPIS_SRC_CORPUS_DATASET_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/api_id.h"
+#include "src/core/dataset.h"
+#include "src/corpus/study_runner.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace lapis::corpus {
+
+struct StudyArtifact {
+  std::unique_ptr<core::StudyDataset> dataset;  // finalized
+  core::StringInterner path_interner;
+  core::StringInterner libc_interner;
+};
+
+// Serializes the dataset portion of a study (footprints, survey counts,
+// dependencies, interners) into `writer`.
+Status SerializeStudy(const StudyResult& study, ByteWriter& writer);
+
+// Reverse of SerializeStudy; the returned dataset is finalized.
+Result<StudyArtifact> DeserializeStudy(ByteReader& reader);
+
+// File convenience wrappers.
+Status SaveStudy(const StudyResult& study, const std::string& path);
+Result<StudyArtifact> LoadStudy(const std::string& path);
+
+}  // namespace lapis::corpus
+
+#endif  // LAPIS_SRC_CORPUS_DATASET_IO_H_

@@ -1,0 +1,242 @@
+#include "src/corpus/study_runner.h"
+
+#include <algorithm>
+
+#include "src/analysis/binary_analyzer.h"
+#include "src/analysis/library_resolver.h"
+#include "src/analysis/script_scanner.h"
+#include "src/corpus/api_universe.h"
+#include "src/corpus/syscall_table.h"
+#include "src/elf/elf_reader.h"
+
+namespace lapis::corpus {
+
+namespace {
+
+using analysis::BinaryAnalysis;
+using analysis::BinaryAnalyzer;
+using analysis::LibraryResolver;
+
+// Analyzes one synthesized binary and registers libraries with the resolver.
+Result<std::shared_ptr<const BinaryAnalysis>> AnalyzeBinary(
+    const SynthesizedBinary& binary, LibraryResolver& resolver,
+    StudyResult& result) {
+  LAPIS_ASSIGN_OR_RETURN(auto image, elf::ElfReader::Parse(binary.bytes));
+  LAPIS_ASSIGN_OR_RETURN(auto analysis, BinaryAnalyzer::Analyze(image));
+  auto shared = std::make_shared<BinaryAnalysis>(std::move(analysis));
+  ++result.analyzed_binaries;
+  result.total_syscall_sites += shared->total_syscall_sites;
+  result.unknown_syscall_sites += shared->unknown_syscall_sites;
+
+  // Site attribution: which binary's own code issues which syscall.
+  for (const auto& fn : shared->functions()) {
+    for (int nr : fn.local.syscalls) {
+      result.syscall_site_binaries[nr].insert(binary.name);
+    }
+    result.int80_sites += fn.local.int80_sites;
+    result.int80_numbers.insert(fn.local.int80_syscalls.begin(),
+                                fn.local.int80_syscalls.end());
+  }
+  if (binary.is_library) {
+    LAPIS_RETURN_IF_ERROR(resolver.AddLibrary(shared));
+  }
+  return std::shared_ptr<const BinaryAnalysis>(shared);
+}
+
+// Converts a resolved footprint + used exports into dataset ApiIds.
+std::vector<core::ApiId> ToApiIds(const LibraryResolver::Resolution& res,
+                                  core::StringInterner& path_interner,
+                                  core::StringInterner& libc_interner) {
+  std::vector<core::ApiId> out;
+  for (int nr : res.footprint.syscalls) {
+    if (nr >= 0 && nr < kSyscallCount) {
+      out.push_back(core::SyscallApi(static_cast<uint32_t>(nr)));
+    }
+  }
+  for (uint32_t op : res.footprint.ioctl_ops) {
+    out.push_back(core::IoctlApi(op));
+  }
+  for (uint32_t op : res.footprint.fcntl_ops) {
+    out.push_back(core::FcntlApi(op));
+  }
+  for (uint32_t op : res.footprint.prctl_ops) {
+    out.push_back(core::PrctlApi(op));
+  }
+  for (const auto& path : res.footprint.pseudo_paths) {
+    out.push_back(core::ApiId{core::ApiKind::kPseudoFile,
+                              path_interner.Intern(path)});
+  }
+  auto libc_exports = res.used_exports.find(kLibcSoname);
+  if (libc_exports != res.used_exports.end()) {
+    for (const auto& symbol : libc_exports->second) {
+      out.push_back(core::ApiId{core::ApiKind::kLibcFn,
+                                libc_interner.Intern(symbol)});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StudyOptions SmallStudyOptions() {
+  StudyOptions options;
+  options.distro.app_package_count = 400;
+  options.distro.script_package_count = 60;
+  options.distro.data_package_count = 12;
+  options.distro.installation_count = 20000;
+  return options;
+}
+
+Result<StudyResult> RunStudy(const StudyOptions& options) {
+  StudyResult result;
+  LAPIS_ASSIGN_OR_RETURN(result.spec, BuildDistroSpec(options.distro));
+  DistroSynthesizer synthesizer(result.spec);
+  LAPIS_ASSIGN_OR_RETURN(result.repository, synthesizer.BuildRepository());
+
+  // Intern the full universes upfront so unused entries exist with
+  // zero importance (Fig 7's unused tail; Table 7 profiles).
+  for (const auto& spec : LibcUniverse()) {
+    result.libc_interner.Intern(spec.name);
+  }
+  for (const auto& file : PseudoFiles()) {
+    result.path_interner.Intern(file.path);
+  }
+
+  // ---- Core libraries ----
+  LibraryResolver resolver;
+  LAPIS_ASSIGN_OR_RETURN(auto core_libs, synthesizer.CoreLibraries());
+  for (const auto& binary : core_libs) {
+    LAPIS_ASSIGN_OR_RETURN(auto analysis,
+                           AnalyzeBinary(binary, resolver, result));
+    result.binary_stats.elf_shared_libraries += 1;
+    if (binary.name == kLibcSoname) {
+      // Record measured per-symbol sizes for the §3.5 analysis.
+      for (const auto& fn : analysis->functions()) {
+        uint32_t id = result.libc_interner.Find(fn.name);
+        if (id != UINT32_MAX) {
+          result.libc_symbol_sizes[id] = fn.size;
+        }
+      }
+    }
+  }
+
+  // ---- Packages: synthesize, analyze, resolve ----
+  const size_t package_count = result.spec.packages.size();
+  std::vector<std::vector<core::ApiId>> footprints(package_count);
+  std::vector<std::set<int>> recovered_syscalls(package_count);
+
+  for (size_t pkg = 0; pkg < package_count; ++pkg) {
+    const PackagePlan& plan = result.spec.packages[pkg];
+    if (plan.data_only || !plan.interpreter_package.empty()) {
+      continue;  // handled below
+    }
+    LAPIS_ASSIGN_OR_RETURN(auto binaries, synthesizer.PackageBinaries(pkg));
+    std::set<std::string> package_paths;
+    for (const auto& binary : binaries) {
+      LAPIS_ASSIGN_OR_RETURN(auto analysis,
+                             AnalyzeBinary(binary, resolver, result));
+      if (binary.is_library) {
+        result.binary_stats.elf_shared_libraries += 1;
+        continue;
+      }
+      if (binary.is_static) {
+        result.binary_stats.elf_static += 1;
+      } else {
+        result.binary_stats.elf_executables += 1;
+      }
+      LibraryResolver::Resolution resolution =
+          resolver.ResolveExecutable(*analysis);
+      auto ids = ToApiIds(resolution, result.path_interner,
+                          result.libc_interner);
+      footprints[pkg].insert(footprints[pkg].end(), ids.begin(), ids.end());
+      recovered_syscalls[pkg].insert(resolution.footprint.syscalls.begin(),
+                                     resolution.footprint.syscalls.end());
+      for (const auto& path : resolution.footprint.pseudo_paths) {
+        package_paths.insert(path);
+      }
+    }
+    for (const auto& path : package_paths) {
+      ++result.pseudo_path_binary_counts[path];
+    }
+  }
+
+  // Script packages inherit the interpreter's footprint (§2.3
+  // over-approximation); data packages stay empty. The Fig 1 breakdown is
+  // measured by scanning the synthesized script files' shebangs, not by
+  // trusting the plan.
+  for (size_t pkg = 0; pkg < package_count; ++pkg) {
+    const PackagePlan& plan = result.spec.packages[pkg];
+    if (plan.script_count > 0) {
+      LAPIS_ASSIGN_OR_RETURN(auto scripts,
+                             synthesizer.PackageScripts(pkg));
+      for (const auto& script : scripts) {
+        auto info = analysis::ClassifyScript(script.contents);
+        if (info.ok()) {
+          ++result.binary_stats.script_programs[info.value().kind];
+        }
+      }
+    }
+    if (plan.interpreter_package.empty()) {
+      continue;
+    }
+    auto it = result.spec.by_name.find(plan.interpreter_package);
+    if (it != result.spec.by_name.end()) {
+      footprints[pkg] = footprints[it->second];
+      recovered_syscalls[pkg] = recovered_syscalls[it->second];
+    }
+  }
+
+  // ---- Ground-truth verification ----
+  if (options.verify_ground_truth) {
+    for (size_t pkg = 0; pkg < package_count; ++pkg) {
+      std::set<int> expected = result.spec.ExpectedSyscalls(pkg);
+      if (expected != recovered_syscalls[pkg]) {
+        ++result.ground_truth_mismatches;
+      }
+    }
+  }
+
+  // ---- Popularity-contest survey ----
+  std::vector<double> marginals;
+  marginals.reserve(package_count);
+  for (const auto& plan : result.spec.packages) {
+    marginals.push_back(plan.target_marginal);
+  }
+  package::PopconOptions popcon;
+  popcon.installation_count = options.distro.installation_count;
+  popcon.report_rate = options.distro.popcon_report_rate;
+  popcon.retain_samples = options.popcon_retain_samples;
+  popcon.profile_count = options.popcon_profile_count;
+  popcon.profile_boost = options.popcon_profile_boost;
+  popcon.seed = options.distro.seed ^ 0x9e3779b97f4a7c15ULL;
+  LAPIS_ASSIGN_OR_RETURN(
+      result.survey,
+      package::PopconSimulator::Run(result.repository, marginals, popcon));
+
+  // ---- Dataset assembly ----
+  result.dataset = std::make_unique<core::StudyDataset>(
+      package_count, result.survey.total_reporting);
+  for (size_t pkg = 0; pkg < package_count; ++pkg) {
+    const PackagePlan& plan = result.spec.packages[pkg];
+    LAPIS_RETURN_IF_ERROR(
+        result.dataset->SetPackageName(static_cast<uint32_t>(pkg),
+                                       plan.name));
+    LAPIS_RETURN_IF_ERROR(result.dataset->SetInstallCount(
+        static_cast<uint32_t>(pkg), result.survey.install_counts[pkg]));
+    LAPIS_RETURN_IF_ERROR(result.dataset->SetFootprint(
+        static_cast<uint32_t>(pkg), footprints[pkg]));
+    const package::Package& pkg_meta =
+        result.repository.package(static_cast<package::PackageId>(pkg));
+    std::vector<core::PackageId> deps(pkg_meta.depends.begin(),
+                                      pkg_meta.depends.end());
+    if (pkg_meta.interpreter != package::kInvalidPackage) {
+      deps.push_back(pkg_meta.interpreter);
+    }
+    LAPIS_RETURN_IF_ERROR(result.dataset->SetDependencies(
+        static_cast<uint32_t>(pkg), std::move(deps)));
+  }
+  LAPIS_RETURN_IF_ERROR(result.dataset->Finalize());
+  return result;
+}
+
+}  // namespace lapis::corpus

@@ -1,0 +1,103 @@
+// The x86-64 Linux 3.19 system-call table (320 entries, as studied by the
+// paper) plus the paper's anchor classifications:
+//   - the ~40 "startup" syscalls every dynamically linked program needs,
+//   - Table 3's 18 unused syscalls,
+//   - the 5 officially-retired-but-still-attempted syscalls,
+//   - Tables 8-11 variant pairs with their published unweighted importance.
+
+#ifndef LAPIS_SRC_CORPUS_SYSCALL_TABLE_H_
+#define LAPIS_SRC_CORPUS_SYSCALL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lapis::corpus {
+
+inline constexpr int kSyscallCount = 320;
+
+// Name of syscall `nr` ("" for out-of-range).
+std::string_view SyscallName(int nr);
+
+// Number for `name`, or nullopt.
+std::optional<int> SyscallNumber(std::string_view name);
+
+// Best-effort name for a legacy i386 (int $0x80) syscall number — the
+// 32-bit table numbers differently (read=3, write=4, ...). Returns
+// "i386:<nr>" for numbers outside the curated set.
+std::string I386SyscallName(int nr);
+
+// The 40 syscalls reachable from every dynamically-linked executable's
+// startup path (libc/ld.so/libpthread/librt initialization; paper Table 5 and
+// the Fig 3 "cannot run even the most simple programs without at least 40
+// system calls" anchor).
+const std::vector<int>& StartupSyscalls();
+
+// Which core library's initialization issues each startup syscall (Table 5).
+enum class CoreLib : uint8_t { kLibc, kLdSo, kLibpthread, kLibrt };
+struct StartupAttribution {
+  int syscall_nr;
+  std::vector<CoreLib> libs;
+};
+const std::vector<StartupAttribution>& StartupAttributions();
+
+// Table 3: the 18 syscalls with no usage at all (10 retired without entry
+// points + 8 simply unused).
+const std::vector<int>& UnusedSyscalls();
+
+// Officially retired but still attempted for backward compatibility
+// (uselib, nfsservctl, afs_syscall, vserver, security).
+const std::vector<int>& RetiredButAttemptedSyscalls();
+
+// Anchored unweighted-importance targets from Tables 8-11 (fraction of
+// packages using the call). These pin specific syscalls to specific ranks in
+// the synthetic usage model so the variant-comparison benches reproduce the
+// paper's rows.
+struct UnweightedAnchor {
+  int syscall_nr;
+  double unweighted_importance;  // in [0,1]
+};
+const std::vector<UnweightedAnchor>& UnweightedAnchors();
+
+// Variant-pair rows for Tables 8-11.
+enum class VariantTable : uint8_t {
+  kSecureIds,       // Table 8, set*id/get*id block
+  kSecureAtomicDir, // Table 8, *at block
+  kOldNew,          // Table 9
+  kPortability,     // Table 10
+  kPowerSimplicity, // Table 11
+};
+struct VariantPair {
+  VariantTable table;
+  std::string_view left_label;   // e.g. "access"
+  int left_nr;
+  std::string_view right_label;  // e.g. "faccessat"
+  int right_nr;
+};
+const std::vector<VariantPair>& VariantPairs();
+
+// Syscalls pinned to specific importance ranks so the Table 6 system
+// evaluations land where the paper reports them (e.g. Graphene's missing
+// scheduling calls rank right after the startup set, making its weighted
+// completeness collapse to under 1%).
+struct PinnedRank {
+  int syscall_nr;
+  int rank;  // 1-based global importance rank
+};
+const std::vector<PinnedRank>& PinnedRanks();
+
+// Tier C/D tail syscalls with weighted-importance targets and the package
+// attributions the paper reports (Tables 1-2 plus §3.1 prose).
+struct TailSyscallPlan {
+  int syscall_nr;
+  double weighted_importance;            // target API importance
+  std::vector<std::string> packages;     // dedicated owner packages
+  bool via_library;                      // call site lives in a library
+};
+const std::vector<TailSyscallPlan>& TailSyscallPlans();
+
+}  // namespace lapis::corpus
+
+#endif  // LAPIS_SRC_CORPUS_SYSCALL_TABLE_H_

@@ -1,0 +1,163 @@
+#include "src/corpus/system_profiles.h"
+
+#include <set>
+
+#include "src/corpus/api_universe.h"
+#include "src/corpus/syscall_table.h"
+
+namespace lapis::corpus {
+
+const std::vector<SystemPlanRow>& LinuxSystemPlans() {
+  static const std::vector<SystemPlanRow>* kList = [] {
+    auto* list = new std::vector<SystemPlanRow>();
+    list->push_back(SystemPlanRow{
+        "User-Mode-Linux 3.19",
+        284,
+        {"name_to_handle_at", "iopl", "ioperm", "perf_event_open"},
+        0.931});
+    // L4Linux supports everything down to the rare tail; its gaps
+    // (quotactl, migrate_pages, kexec_load) fall out of the ranking
+    // naturally rather than being forced.
+    list->push_back(SystemPlanRow{"L4Linux 4.3", 286, {}, 0.993});
+    list->push_back(SystemPlanRow{
+        "FreeBSD-emu 10.2",
+        225,
+        {"inotify_init", "inotify_add_watch", "inotify_rm_watch",
+         "inotify_init1", "splice", "umount2", "timerfd_create",
+         "timerfd_settime", "timerfd_gettime"},
+        0.623});
+    list->push_back(SystemPlanRow{
+        "Graphene",
+        143,
+        {"sched_setscheduler", "sched_setparam", "statfs", "utimes",
+         "getxattr", "fallocate", "eventfd2"},
+        0.0042});
+    list->push_back(SystemPlanRow{
+        "Graphene (+sched)",
+        145,
+        {"statfs", "utimes", "getxattr", "fallocate", "eventfd2"},
+        0.211});
+    return list;
+  }();
+  return *kList;
+}
+
+std::vector<core::ApiId> FullSyscallUniverse() {
+  std::vector<core::ApiId> universe;
+  universe.reserve(kSyscallCount);
+  for (int nr = 0; nr < kSyscallCount; ++nr) {
+    universe.push_back(core::SyscallApi(static_cast<uint32_t>(nr)));
+  }
+  return universe;
+}
+
+core::SystemProfile BuildSystemProfile(const core::StudyDataset& dataset,
+                                       const SystemPlanRow& plan) {
+  core::SystemProfile profile;
+  profile.name = plan.name;
+  profile.evaluated_kinds = {core::ApiKind::kSyscall};
+
+  std::set<uint32_t> gaps;
+  for (const auto& name : plan.gaps) {
+    auto nr = SyscallNumber(name);
+    if (nr.has_value()) {
+      gaps.insert(static_cast<uint32_t>(*nr));
+    }
+  }
+  std::set<uint32_t> skip;  // never-implemented: unused + retired
+  for (int nr : UnusedSyscalls()) {
+    skip.insert(static_cast<uint32_t>(nr));
+  }
+  for (int nr : RetiredButAttemptedSyscalls()) {
+    skip.insert(static_cast<uint32_t>(nr));
+  }
+
+  for (const core::ApiId& api :
+       dataset.RankByImportance(core::ApiKind::kSyscall,
+                                FullSyscallUniverse())) {
+    if (profile.supported.size() >= plan.supported_count) {
+      break;
+    }
+    if (gaps.count(api.code) != 0 || skip.count(api.code) != 0) {
+      continue;
+    }
+    profile.supported.insert(api);
+  }
+  return profile;
+}
+
+const std::vector<LibcVariantPlanRow>& LibcVariantPlans() {
+  static const std::vector<LibcVariantPlanRow>* kList = [] {
+    auto* list = new std::vector<LibcVariantPlanRow>();
+    list->push_back(LibcVariantPlanRow{
+        "eglibc 2.19", true, true, {}, {}, 1.0, 1.0});
+    list->push_back(LibcVariantPlanRow{
+        "uClibc 0.9.33", false, false, {}, {"__uflow", "__overflow"},
+        0.011, 0.419});
+    list->push_back(LibcVariantPlanRow{
+        "musl 1.1.14", false, false, {}, {"secure_getenv", "random_r"},
+        0.011, 0.432});
+    list->push_back(LibcVariantPlanRow{
+        "dietlibc 0.33", false, false,
+        {"memalign", "__cxa_finalize"},
+        {"obstack_free", "backtrace", "argp_parse"},
+        0.0, 0.0});
+    return list;
+  }();
+  return *kList;
+}
+
+core::LibcVariantProfile BuildLibcVariantProfile(
+    const LibcVariantPlanRow& plan,
+    const core::StringInterner& libc_interner) {
+  core::LibcVariantProfile profile;
+  profile.name = plan.name;
+
+  std::set<std::string> missing(plan.missing_named.begin(),
+                                plan.missing_named.end());
+  for (const auto& name : plan.missing_universal) {
+    missing.insert(name);
+  }
+
+  for (const LibcSymbolSpec& spec : LibcUniverse()) {
+    if (missing.count(spec.name) != 0) {
+      continue;
+    }
+    if (!plan.exports_chk_variants && !spec.chk_base.empty()) {
+      continue;
+    }
+    if (!plan.exports_gnu_extensions && spec.gnu_extension) {
+      continue;
+    }
+    uint32_t id = libc_interner.Find(spec.name);
+    if (id == UINT32_MAX) {
+      continue;  // symbol never used by any package; irrelevant to WC
+    }
+    profile.exported_symbols.insert(id);
+    if (!spec.chk_base.empty()) {
+      // Record the normalization pair even for variants exporting the chk
+      // symbol (harmless) so the map is uniform.
+      uint32_t base_id = libc_interner.Find(spec.chk_base);
+      if (base_id != UINT32_MAX) {
+        profile.normalization.emplace(id, base_id);
+      }
+    }
+  }
+  // For variants without chk exports, normalization entries must still be
+  // present (chk id -> base id), built from the universe.
+  if (!plan.exports_chk_variants) {
+    for (const LibcSymbolSpec& spec : LibcUniverse()) {
+      if (spec.chk_base.empty()) {
+        continue;
+      }
+      uint32_t id = libc_interner.Find(spec.name);
+      uint32_t base_id = libc_interner.Find(spec.chk_base);
+      if (id != UINT32_MAX && base_id != UINT32_MAX) {
+        profile.normalization.emplace(id, base_id);
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace lapis::corpus

@@ -1,0 +1,62 @@
+// Supported-API profiles of real Linux systems / emulation layers (Table 6)
+// and libc variants (Table 7).
+//
+// The paper obtained these lists from each system's sources; we encode the
+// same construction: each system supports the N most important syscalls it
+// could reasonably have, minus the specific gaps the paper names.
+
+#ifndef LAPIS_SRC_CORPUS_SYSTEM_PROFILES_H_
+#define LAPIS_SRC_CORPUS_SYSTEM_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/api_id.h"
+#include "src/core/dataset.h"
+#include "src/core/libc_analysis.h"
+#include "src/core/systems.h"
+
+namespace lapis::corpus {
+
+struct SystemPlanRow {
+  std::string name;
+  size_t supported_count;                // paper's "#" column
+  std::vector<std::string> gaps;         // syscalls the system lacks
+  double paper_completeness;             // paper's W.Comp. column
+};
+
+// The four systems of Table 6 plus Graphene¶ (after adding the scheduling
+// calls).
+const std::vector<SystemPlanRow>& LinuxSystemPlans();
+
+// Builds a concrete SystemProfile for a plan against a dataset: the
+// `supported_count` highest-importance syscalls, skipping the named gaps
+// and anything unused/retired.
+core::SystemProfile BuildSystemProfile(const core::StudyDataset& dataset,
+                                       const SystemPlanRow& plan);
+
+// All 320 syscalls as ApiIds (ranking universe; includes unused ones).
+std::vector<core::ApiId> FullSyscallUniverse();
+
+struct LibcVariantPlanRow {
+  std::string name;
+  bool exports_chk_variants;   // fortify (__*_chk) symbols present
+  bool exports_gnu_extensions; // GNU-only APIs present
+  // Universal symbols this variant is missing entirely (dietlibc's
+  // memalign / __cxa_finalize problem).
+  std::vector<std::string> missing_universal;
+  // Extra named gaps (uClibc's __uflow/__overflow, musl's secure_getenv...).
+  std::vector<std::string> missing_named;
+  double paper_completeness;
+  double paper_normalized_completeness;
+};
+
+const std::vector<LibcVariantPlanRow>& LibcVariantPlans();
+
+// Builds a Table 7 profile against the study's libc universe interner.
+core::LibcVariantProfile BuildLibcVariantProfile(
+    const LibcVariantPlanRow& plan, const core::StringInterner& libc_interner);
+
+}  // namespace lapis::corpus
+
+#endif  // LAPIS_SRC_CORPUS_SYSTEM_PROFILES_H_

@@ -1,0 +1,215 @@
+#include "src/db/table.h"
+
+namespace lapis::db {
+
+const std::vector<size_t> Table::kEmptyRowList;
+
+Table::Table(std::string name, std::vector<ColumnDef> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {
+  storage_index_.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    if (col.type == ColumnType::kInt64) {
+      storage_index_.push_back(int_columns_.size());
+      int_columns_.emplace_back();
+    } else {
+      storage_index_.push_back(string_columns_.size());
+      string_columns_.emplace_back();
+    }
+  }
+}
+
+int Table::ColumnIndex(std::string_view column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status Table::Insert(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return InvalidArgumentError("row arity mismatch in table " + name_);
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    bool is_int = std::holds_alternative<int64_t>(values[i]);
+    if (is_int != (columns_[i].type == ColumnType::kInt64)) {
+      return InvalidArgumentError("type mismatch in column " +
+                                  columns_[i].name);
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (columns_[i].type == ColumnType::kInt64) {
+      int64_t v = std::get<int64_t>(values[i]);
+      int_columns_[storage_index_[i]].push_back(v);
+      auto idx = indexes_.find(i);
+      if (idx != indexes_.end()) {
+        idx->second[v].push_back(row_count_);
+      }
+    } else {
+      string_columns_[storage_index_[i]].push_back(
+          std::get<std::string>(values[i]));
+    }
+  }
+  ++row_count_;
+  return Status::Ok();
+}
+
+int64_t Table::GetInt(size_t row, size_t col) const {
+  return int_columns_[storage_index_[col]][row];
+}
+
+const std::string& Table::GetString(size_t row, size_t col) const {
+  return string_columns_[storage_index_[col]][row];
+}
+
+Status Table::BuildIndex(size_t col) {
+  if (col >= columns_.size() || columns_[col].type != ColumnType::kInt64) {
+    return InvalidArgumentError("index requires an int64 column");
+  }
+  auto& index = indexes_[col];
+  index.clear();
+  const auto& data = int_columns_[storage_index_[col]];
+  for (size_t row = 0; row < data.size(); ++row) {
+    index[data[row]].push_back(row);
+  }
+  return Status::Ok();
+}
+
+bool Table::HasIndex(size_t col) const { return indexes_.count(col) != 0; }
+
+const std::vector<size_t>& Table::Lookup(size_t col, int64_t key) const {
+  auto idx = indexes_.find(col);
+  if (idx == indexes_.end()) {
+    return kEmptyRowList;
+  }
+  auto it = idx->second.find(key);
+  return it == idx->second.end() ? kEmptyRowList : it->second;
+}
+
+std::vector<size_t> Table::ScanEqual(size_t col, int64_t key) const {
+  std::vector<size_t> out;
+  const auto& data = int_columns_[storage_index_[col]];
+  for (size_t row = 0; row < data.size(); ++row) {
+    if (data[row] == key) {
+      out.push_back(row);
+    }
+  }
+  return out;
+}
+
+void Table::Serialize(ByteWriter& writer) const {
+  writer.PutLengthPrefixedString(name_);
+  writer.PutU32(static_cast<uint32_t>(columns_.size()));
+  for (const auto& col : columns_) {
+    writer.PutLengthPrefixedString(col.name);
+    writer.PutU8(static_cast<uint8_t>(col.type));
+  }
+  writer.PutU64(row_count_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c].type == ColumnType::kInt64) {
+      for (int64_t v : int_columns_[storage_index_[c]]) {
+        writer.PutI64(v);
+      }
+    } else {
+      for (const auto& s : string_columns_[storage_index_[c]]) {
+        writer.PutLengthPrefixedString(s);
+      }
+    }
+  }
+}
+
+Result<Table> Table::Deserialize(ByteReader& reader) {
+  LAPIS_ASSIGN_OR_RETURN(std::string name, reader.ReadLengthPrefixedString());
+  LAPIS_ASSIGN_OR_RETURN(uint32_t column_count, reader.ReadU32());
+  std::vector<ColumnDef> columns;
+  columns.reserve(column_count);
+  for (uint32_t i = 0; i < column_count; ++i) {
+    LAPIS_ASSIGN_OR_RETURN(std::string col_name,
+                           reader.ReadLengthPrefixedString());
+    LAPIS_ASSIGN_OR_RETURN(uint8_t type, reader.ReadU8());
+    if (type > static_cast<uint8_t>(ColumnType::kString)) {
+      return CorruptDataError("bad column type");
+    }
+    columns.push_back(ColumnDef{std::move(col_name),
+                                static_cast<ColumnType>(type)});
+  }
+  Table table(std::move(name), std::move(columns));
+  LAPIS_ASSIGN_OR_RETURN(uint64_t rows, reader.ReadU64());
+  for (size_t c = 0; c < table.columns_.size(); ++c) {
+    if (table.columns_[c].type == ColumnType::kInt64) {
+      auto& col = table.int_columns_[table.storage_index_[c]];
+      col.reserve(rows);
+      for (uint64_t r = 0; r < rows; ++r) {
+        LAPIS_ASSIGN_OR_RETURN(int64_t v, reader.ReadI64());
+        col.push_back(v);
+      }
+    } else {
+      auto& col = table.string_columns_[table.storage_index_[c]];
+      col.reserve(rows);
+      for (uint64_t r = 0; r < rows; ++r) {
+        LAPIS_ASSIGN_OR_RETURN(std::string s,
+                               reader.ReadLengthPrefixedString());
+        col.push_back(std::move(s));
+      }
+    }
+  }
+  table.row_count_ = rows;
+  return table;
+}
+
+Result<Table*> Database::CreateTable(std::string table_name,
+                                     std::vector<ColumnDef> columns) {
+  if (by_name_.count(table_name) != 0) {
+    return FailedPreconditionError("duplicate table: " + table_name);
+  }
+  auto table = std::make_unique<Table>(table_name, std::move(columns));
+  Table* ptr = table.get();
+  by_name_.emplace(std::move(table_name), tables_.size());
+  tables_.push_back(std::move(table));
+  return ptr;
+}
+
+Table* Database::GetTable(std::string_view table_name) {
+  auto it = by_name_.find(table_name);
+  return it == by_name_.end() ? nullptr : tables_[it->second].get();
+}
+
+const Table* Database::GetTable(std::string_view table_name) const {
+  auto it = by_name_.find(table_name);
+  return it == by_name_.end() ? nullptr : tables_[it->second].get();
+}
+
+uint64_t Database::TotalRows() const {
+  uint64_t total = 0;
+  for (const auto& table : tables_) {
+    total += table->row_count();
+  }
+  return total;
+}
+
+void Database::Serialize(ByteWriter& writer) const {
+  writer.PutU32(0x4c415044);  // "LAPD"
+  writer.PutU32(static_cast<uint32_t>(tables_.size()));
+  for (const auto& table : tables_) {
+    table->Serialize(writer);
+  }
+}
+
+Result<Database> Database::Deserialize(ByteReader& reader) {
+  LAPIS_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != 0x4c415044) {
+    return CorruptDataError("bad database magic");
+  }
+  LAPIS_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  Database db;
+  for (uint32_t i = 0; i < count; ++i) {
+    LAPIS_ASSIGN_OR_RETURN(Table table, Table::Deserialize(reader));
+    auto owned = std::make_unique<Table>(std::move(table));
+    db.by_name_.emplace(owned->name(), db.tables_.size());
+    db.tables_.push_back(std::move(owned));
+  }
+  return db;
+}
+
+}  // namespace lapis::db

@@ -1,0 +1,98 @@
+// Minimal typed, columnar table store.
+//
+// The paper's last-mile aggregation ran as recursive SQL over a PostgreSQL
+// database (48 tables, 428M rows). lapis::db is the in-process equivalent:
+// typed tables with hash indexes plus a transitive-closure aggregator
+// (transitive_closure.h). The analysis pipeline can run either through the
+// in-memory resolver or through this store; tests assert both agree.
+
+#ifndef LAPIS_SRC_DB_TABLE_H_
+#define LAPIS_SRC_DB_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace lapis::db {
+
+enum class ColumnType : uint8_t { kInt64, kString };
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type;
+};
+
+using Value = std::variant<int64_t, std::string>;
+
+class Table {
+ public:
+  Table(std::string name, std::vector<ColumnDef> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t row_count() const { return row_count_; }
+
+  // Column index by name; -1 if absent.
+  int ColumnIndex(std::string_view column_name) const;
+
+  // Appends a row; values must match the schema arity and types.
+  Status Insert(const std::vector<Value>& values);
+
+  // Typed cell accessors (no bounds forgiveness: callers own validity).
+  int64_t GetInt(size_t row, size_t col) const;
+  const std::string& GetString(size_t row, size_t col) const;
+
+  // Builds (or rebuilds) a hash index over an int64 column.
+  Status BuildIndex(size_t col);
+  // Row ids matching `key` via the index on `col` (must be indexed).
+  const std::vector<size_t>& Lookup(size_t col, int64_t key) const;
+  bool HasIndex(size_t col) const;
+
+  // Full scan helper: rows where int column `col` equals `key`.
+  std::vector<size_t> ScanEqual(size_t col, int64_t key) const;
+
+  void Serialize(ByteWriter& writer) const;
+  static Result<Table> Deserialize(ByteReader& reader);
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  size_t row_count_ = 0;
+  // Column storage: one vector per column.
+  std::vector<std::vector<int64_t>> int_columns_;
+  std::vector<std::vector<std::string>> string_columns_;
+  // Per-schema-column pointer into the storage vectors.
+  std::vector<size_t> storage_index_;
+  // col -> (key -> row ids)
+  std::map<size_t, std::unordered_map<int64_t, std::vector<size_t>>> indexes_;
+  static const std::vector<size_t> kEmptyRowList;
+};
+
+// A named collection of tables with whole-database serialization.
+class Database {
+ public:
+  Result<Table*> CreateTable(std::string table_name,
+                             std::vector<ColumnDef> columns);
+  Table* GetTable(std::string_view table_name);
+  const Table* GetTable(std::string_view table_name) const;
+  size_t table_count() const { return tables_.size(); }
+  uint64_t TotalRows() const;
+
+  void Serialize(ByteWriter& writer) const;
+  static Result<Database> Deserialize(ByteReader& reader);
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::map<std::string, size_t, std::less<>> by_name_;
+};
+
+}  // namespace lapis::db
+
+#endif  // LAPIS_SRC_DB_TABLE_H_

@@ -1,0 +1,167 @@
+#include "src/db/transitive_closure.h"
+
+#include <algorithm>
+
+namespace lapis::db {
+
+TransitiveAggregator::TransitiveAggregator(uint32_t node_count)
+    : node_count_(node_count),
+      adjacency_(node_count),
+      facts_(node_count) {}
+
+Status TransitiveAggregator::AddEdge(uint32_t src, uint32_t dst) {
+  if (src >= node_count_ || dst >= node_count_) {
+    return InvalidArgumentError("edge endpoint out of range");
+  }
+  adjacency_[src].push_back(dst);
+  edge_dst_.push_back(dst);
+  return Status::Ok();
+}
+
+Status TransitiveAggregator::AddFact(uint32_t node, int64_t fact) {
+  if (node >= node_count_) {
+    return InvalidArgumentError("fact node out of range");
+  }
+  facts_[node].push_back(fact);
+  return Status::Ok();
+}
+
+namespace {
+
+// Iterative Tarjan SCC (recursion would overflow on deep call chains).
+struct TarjanState {
+  std::vector<uint32_t> index;
+  std::vector<uint32_t> lowlink;
+  std::vector<uint8_t> on_stack;
+  std::vector<uint32_t> stack;
+  std::vector<int32_t> component;  // -1 until assigned
+  uint32_t next_index = 0;
+  uint32_t component_count = 0;
+};
+
+void TarjanFrom(uint32_t root, const std::vector<std::vector<uint32_t>>& adj,
+                TarjanState& s) {
+  struct Frame {
+    uint32_t node;
+    size_t edge = 0;
+  };
+  std::vector<Frame> frames = {{root}};
+  s.index[root] = s.lowlink[root] = s.next_index++;
+  s.stack.push_back(root);
+  s.on_stack[root] = 1;
+
+  while (!frames.empty()) {
+    Frame& frame = frames.back();
+    uint32_t v = frame.node;
+    if (frame.edge < adj[v].size()) {
+      uint32_t w = adj[v][frame.edge++];
+      if (s.index[w] == UINT32_MAX) {
+        s.index[w] = s.lowlink[w] = s.next_index++;
+        s.stack.push_back(w);
+        s.on_stack[w] = 1;
+        frames.push_back({w});
+      } else if (s.on_stack[w] != 0) {
+        s.lowlink[v] = std::min(s.lowlink[v], s.index[w]);
+      }
+    } else {
+      if (s.lowlink[v] == s.index[v]) {
+        for (;;) {
+          uint32_t w = s.stack.back();
+          s.stack.pop_back();
+          s.on_stack[w] = 0;
+          s.component[w] = static_cast<int32_t>(s.component_count);
+          if (w == v) {
+            break;
+          }
+        }
+        ++s.component_count;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        uint32_t parent = frames.back().node;
+        s.lowlink[parent] = std::min(s.lowlink[parent], s.lowlink[v]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int64_t>> TransitiveAggregator::Aggregate() const {
+  // 1. Condense into SCCs.
+  TarjanState s;
+  s.index.assign(node_count_, UINT32_MAX);
+  s.lowlink.assign(node_count_, 0);
+  s.on_stack.assign(node_count_, 0);
+  s.component.assign(node_count_, -1);
+  for (uint32_t v = 0; v < node_count_; ++v) {
+    if (s.index[v] == UINT32_MAX) {
+      TarjanFrom(v, adjacency_, s);
+    }
+  }
+  const uint32_t scc_count = s.component_count;
+
+  // 2. Gather facts per SCC; build condensed edges. Tarjan numbers SCCs in
+  // reverse topological order (all successors of C have smaller ids), so a
+  // single ascending pass propagates complete closures.
+  std::vector<std::vector<int64_t>> scc_facts(scc_count);
+  for (uint32_t v = 0; v < node_count_; ++v) {
+    auto& dst = scc_facts[static_cast<uint32_t>(s.component[v])];
+    dst.insert(dst.end(), facts_[v].begin(), facts_[v].end());
+  }
+  std::vector<std::vector<uint32_t>> scc_edges(scc_count);
+  for (uint32_t v = 0; v < node_count_; ++v) {
+    uint32_t cv = static_cast<uint32_t>(s.component[v]);
+    for (uint32_t w : adjacency_[v]) {
+      uint32_t cw = static_cast<uint32_t>(s.component[w]);
+      if (cv != cw) {
+        scc_edges[cv].push_back(cw);
+      }
+    }
+  }
+
+  // 3. Propagate: ascending SCC id visits successors first.
+  std::vector<std::vector<int64_t>> scc_closure(scc_count);
+  for (uint32_t c = 0; c < scc_count; ++c) {
+    std::vector<int64_t> merged = scc_facts[c];
+    std::sort(scc_edges[c].begin(), scc_edges[c].end());
+    scc_edges[c].erase(
+        std::unique(scc_edges[c].begin(), scc_edges[c].end()),
+        scc_edges[c].end());
+    for (uint32_t succ : scc_edges[c]) {
+      merged.insert(merged.end(), scc_closure[succ].begin(),
+                    scc_closure[succ].end());
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    scc_closure[c] = std::move(merged);
+  }
+
+  // 4. Fan back out to nodes.
+  std::vector<std::vector<int64_t>> out(node_count_);
+  for (uint32_t v = 0; v < node_count_; ++v) {
+    out[v] = scc_closure[static_cast<uint32_t>(s.component[v])];
+  }
+  return out;
+}
+
+Result<TransitiveAggregator> TransitiveAggregator::FromTables(
+    const Table& edges, const Table& facts, uint32_t node_count) {
+  if (edges.columns().size() < 2 || facts.columns().size() < 2) {
+    return InvalidArgumentError("edges/facts tables need two columns");
+  }
+  TransitiveAggregator agg(node_count);
+  for (size_t row = 0; row < edges.row_count(); ++row) {
+    LAPIS_RETURN_IF_ERROR(
+        agg.AddEdge(static_cast<uint32_t>(edges.GetInt(row, 0)),
+                    static_cast<uint32_t>(edges.GetInt(row, 1))));
+  }
+  for (size_t row = 0; row < facts.row_count(); ++row) {
+    LAPIS_RETURN_IF_ERROR(
+        agg.AddFact(static_cast<uint32_t>(facts.GetInt(row, 0)),
+                    facts.GetInt(row, 1)));
+  }
+  return agg;
+}
+
+}  // namespace lapis::db

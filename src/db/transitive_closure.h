@@ -1,0 +1,54 @@
+// Transitive-closure fact aggregation.
+//
+// The paper's footprint aggregation is a recursive SQL query: "for each
+// executable, the union of API facts over every function reachable through
+// the call graph". TransitiveAggregator computes exactly that, using Tarjan
+// SCC condensation + reverse-topological propagation so cyclic call graphs
+// (mutual recursion) terminate and each strongly-connected component is
+// processed once.
+
+#ifndef LAPIS_SRC_DB_TRANSITIVE_CLOSURE_H_
+#define LAPIS_SRC_DB_TRANSITIVE_CLOSURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/db/table.h"
+#include "src/util/status.h"
+
+namespace lapis::db {
+
+class TransitiveAggregator {
+ public:
+  explicit TransitiveAggregator(uint32_t node_count);
+
+  // Adds a call-graph edge: facts of `dst` flow into `src`'s closure.
+  Status AddEdge(uint32_t src, uint32_t dst);
+
+  // Attaches a fact (an opaque id, e.g. an encoded ApiId) to a node.
+  Status AddFact(uint32_t node, int64_t fact);
+
+  // Computes, for every node, the sorted, deduplicated union of facts over
+  // its forward transitive closure (including itself).
+  std::vector<std::vector<int64_t>> Aggregate() const;
+
+  // Convenience: builds the aggregator from two tables —
+  //   edges(src:int, dst:int), facts(node:int, fact:int)
+  // as the analysis pipeline lays them out in a Database.
+  static Result<TransitiveAggregator> FromTables(const Table& edges,
+                                                 const Table& facts,
+                                                 uint32_t node_count);
+
+  uint32_t node_count() const { return node_count_; }
+  size_t edge_count() const { return edge_dst_.size(); }
+
+ private:
+  uint32_t node_count_;
+  std::vector<std::vector<uint32_t>> adjacency_;
+  std::vector<uint32_t> edge_dst_;  // flat list, for stats only
+  std::vector<std::vector<int64_t>> facts_;
+};
+
+}  // namespace lapis::db
+
+#endif  // LAPIS_SRC_DB_TRANSITIVE_CLOSURE_H_

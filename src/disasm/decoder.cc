@@ -1,0 +1,713 @@
+#include "src/disasm/decoder.h"
+
+namespace lapis::disasm {
+
+namespace {
+
+// Immediate classes attached to an opcode.
+enum class ImmClass : uint8_t {
+  kNone,
+  kIb,    // 1 byte
+  kIw,    // 2 bytes
+  kIz,    // 2 or 4 bytes depending on operand size (never 8)
+  kIv,    // 2, 4, or 8 bytes depending on operand size (mov r64, imm64)
+  kRel8,  // 1-byte branch displacement
+  kRel32, // 4-byte branch displacement (rel16 with 66 is not emitted on x86-64)
+  kMoffs, // address-size offset (8 bytes in 64-bit mode)
+  kIwIb,  // enter: imm16 + imm8
+};
+
+struct OpcodeInfo {
+  bool valid = false;
+  bool has_modrm = false;
+  ImmClass imm = ImmClass::kNone;
+};
+
+// Decoder working state for one instruction.
+struct DecodeState {
+  std::span<const uint8_t> bytes;
+  size_t pos = 0;
+  bool opsize16 = false;  // 66 prefix
+  uint8_t rex = 0;        // 0 if absent
+
+  bool RexW() const { return (rex & 0x08) != 0; }
+  bool RexR() const { return (rex & 0x04) != 0; }
+  bool RexB() const { return (rex & 0x01) != 0; }
+
+  Result<uint8_t> Next() {
+    if (pos >= bytes.size()) {
+      return OutOfRangeError("truncated instruction");
+    }
+    return bytes[pos++];
+  }
+
+  Result<uint32_t> NextU32() {
+    if (pos + 4 > bytes.size()) {
+      return OutOfRangeError("truncated instruction");
+    }
+    uint32_t v = static_cast<uint32_t>(bytes[pos]) |
+                 static_cast<uint32_t>(bytes[pos + 1]) << 8 |
+                 static_cast<uint32_t>(bytes[pos + 2]) << 16 |
+                 static_cast<uint32_t>(bytes[pos + 3]) << 24;
+    pos += 4;
+    return v;
+  }
+
+  Result<uint64_t> NextU64() {
+    LAPIS_ASSIGN_OR_RETURN(uint32_t lo, NextU32());
+    LAPIS_ASSIGN_OR_RETURN(uint32_t hi, NextU32());
+    return static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  }
+
+  Result<uint16_t> NextU16() {
+    LAPIS_ASSIGN_OR_RETURN(uint8_t lo, Next());
+    LAPIS_ASSIGN_OR_RETURN(uint8_t hi, Next());
+    return static_cast<uint16_t>(lo | (hi << 8));
+  }
+};
+
+// Result of ModRM/SIB/displacement parsing.
+struct ModRm {
+  uint8_t mod = 0;
+  uint8_t reg = 0;    // extended with REX.R
+  uint8_t rm = 0;     // extended with REX.B (register operand only)
+  bool rip_relative = false;
+  int32_t disp = 0;
+};
+
+Result<ModRm> ParseModRm(DecodeState& s) {
+  LAPIS_ASSIGN_OR_RETURN(uint8_t byte, s.Next());
+  ModRm m;
+  m.mod = byte >> 6;
+  m.reg = static_cast<uint8_t>(((byte >> 3) & 7) | (s.RexR() ? 8 : 0));
+  uint8_t rm_raw = byte & 7;
+  m.rm = static_cast<uint8_t>(rm_raw | (s.RexB() ? 8 : 0));
+
+  if (m.mod == 3) {
+    return m;  // register operand, no memory
+  }
+  // Memory operand.
+  bool has_sib = rm_raw == 4;
+  uint8_t sib_base = 0xff;
+  if (has_sib) {
+    LAPIS_ASSIGN_OR_RETURN(uint8_t sib, s.Next());
+    sib_base = sib & 7;
+  }
+  int disp_size = 0;
+  if (m.mod == 0) {
+    if (!has_sib && rm_raw == 5) {
+      m.rip_relative = true;  // [rip + disp32] in 64-bit mode
+      disp_size = 4;
+    } else if (has_sib && sib_base == 5) {
+      disp_size = 4;
+    }
+  } else if (m.mod == 1) {
+    disp_size = 1;
+  } else {  // mod == 2
+    disp_size = 4;
+  }
+  if (disp_size == 1) {
+    LAPIS_ASSIGN_OR_RETURN(uint8_t d, s.Next());
+    m.disp = static_cast<int8_t>(d);
+  } else if (disp_size == 4) {
+    LAPIS_ASSIGN_OR_RETURN(uint32_t d, s.NextU32());
+    m.disp = static_cast<int32_t>(d);
+  }
+  return m;
+}
+
+// One-byte opcode map attributes. Prefixes (26 2e 36 3e 40-4f 64-67 f0 f2 f3)
+// are consumed before lookup and marked invalid here.
+OpcodeInfo OneByteInfo(uint8_t op) {
+  OpcodeInfo info;
+  info.valid = true;
+  // ALU block 00-3f: add/or/adc/sbb/and/sub/xor/cmp share the same 8-slot
+  // pattern; slots 6 and 7 of each group (and segment prefixes) are invalid
+  // or handled as prefixes in 64-bit mode.
+  if (op < 0x40) {
+    uint8_t low = op & 7;
+    switch (low) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        info.has_modrm = true;
+        return info;
+      case 4:
+        info.imm = ImmClass::kIb;
+        return info;
+      case 5:
+        info.imm = ImmClass::kIz;
+        return info;
+      default:
+        info.valid = false;  // 0x06/0x07-style slots; prefixes pre-consumed
+        return info;
+    }
+  }
+  if (op >= 0x40 && op <= 0x4f) {  // REX — consumed as prefix, never here
+    info.valid = false;
+    return info;
+  }
+  if (op >= 0x50 && op <= 0x5f) {  // push/pop r64
+    return info;
+  }
+  switch (op) {
+    case 0x63:  // movsxd
+      info.has_modrm = true;
+      return info;
+    case 0x68:  // push iz
+      info.imm = ImmClass::kIz;
+      return info;
+    case 0x69:  // imul r, r/m, iz
+      info.has_modrm = true;
+      info.imm = ImmClass::kIz;
+      return info;
+    case 0x6a:  // push ib
+      info.imm = ImmClass::kIb;
+      return info;
+    case 0x6b:  // imul r, r/m, ib
+      info.has_modrm = true;
+      info.imm = ImmClass::kIb;
+      return info;
+    case 0x6c:
+    case 0x6d:
+    case 0x6e:
+    case 0x6f:  // ins/outs
+      return info;
+    default:
+      break;
+  }
+  if (op >= 0x70 && op <= 0x7f) {  // jcc rel8
+    info.imm = ImmClass::kRel8;
+    return info;
+  }
+  switch (op) {
+    case 0x80:
+      info.has_modrm = true;
+      info.imm = ImmClass::kIb;
+      return info;
+    case 0x81:
+      info.has_modrm = true;
+      info.imm = ImmClass::kIz;
+      return info;
+    case 0x83:
+      info.has_modrm = true;
+      info.imm = ImmClass::kIb;
+      return info;
+    case 0x84:
+    case 0x85:
+    case 0x86:
+    case 0x87:
+    case 0x88:
+    case 0x89:
+    case 0x8a:
+    case 0x8b:
+    case 0x8c:
+    case 0x8d:
+    case 0x8e:
+    case 0x8f:
+      info.has_modrm = true;
+      return info;
+    default:
+      break;
+  }
+  if (op >= 0x90 && op <= 0x9f) {
+    // xchg/nop, cbw/cwd, wait, pushf/popf, sahf/lahf; 0x9a invalid in 64-bit.
+    info.valid = op != 0x9a;
+    return info;
+  }
+  if (op >= 0xa0 && op <= 0xa3) {  // mov moffs (64-bit offset)
+    info.imm = ImmClass::kMoffs;
+    return info;
+  }
+  if (op >= 0xa4 && op <= 0xa7) {  // movs/cmps
+    return info;
+  }
+  if (op == 0xa8) {
+    info.imm = ImmClass::kIb;
+    return info;
+  }
+  if (op == 0xa9) {
+    info.imm = ImmClass::kIz;
+    return info;
+  }
+  if (op >= 0xaa && op <= 0xaf) {  // stos/lods/scas
+    return info;
+  }
+  if (op >= 0xb0 && op <= 0xb7) {  // mov r8, ib
+    info.imm = ImmClass::kIb;
+    return info;
+  }
+  if (op >= 0xb8 && op <= 0xbf) {  // mov r, iz/iv
+    info.imm = ImmClass::kIv;
+    return info;
+  }
+  switch (op) {
+    case 0xc0:
+    case 0xc1:
+      info.has_modrm = true;
+      info.imm = ImmClass::kIb;
+      return info;
+    case 0xc2:
+      info.imm = ImmClass::kIw;
+      return info;
+    case 0xc3:
+      return info;
+    case 0xc6:
+      info.has_modrm = true;
+      info.imm = ImmClass::kIb;
+      return info;
+    case 0xc7:
+      info.has_modrm = true;
+      info.imm = ImmClass::kIz;
+      return info;
+    case 0xc8:
+      info.imm = ImmClass::kIwIb;
+      return info;
+    case 0xc9:  // leave
+      return info;
+    case 0xca:
+      info.imm = ImmClass::kIw;
+      return info;
+    case 0xcb:
+    case 0xcc:
+      return info;
+    case 0xcd:  // int ib
+      info.imm = ImmClass::kIb;
+      return info;
+    case 0xcf:
+      return info;
+    case 0xd0:
+    case 0xd1:
+    case 0xd2:
+    case 0xd3:
+      info.has_modrm = true;
+      return info;
+    case 0xd7:
+      return info;
+    default:
+      break;
+  }
+  if (op >= 0xd8 && op <= 0xdf) {  // x87
+    info.has_modrm = true;
+    return info;
+  }
+  if (op >= 0xe0 && op <= 0xe3) {  // loop/jcxz rel8
+    info.imm = ImmClass::kRel8;
+    return info;
+  }
+  switch (op) {
+    case 0xe4:
+    case 0xe5:
+    case 0xe6:
+    case 0xe7:  // in/out ib
+      info.imm = ImmClass::kIb;
+      return info;
+    case 0xe8:  // call rel32
+    case 0xe9:  // jmp rel32
+      info.imm = ImmClass::kRel32;
+      return info;
+    case 0xeb:  // jmp rel8
+      info.imm = ImmClass::kRel8;
+      return info;
+    case 0xec:
+    case 0xed:
+    case 0xee:
+    case 0xef:
+      return info;
+    case 0xf1:
+    case 0xf4:
+    case 0xf5:
+      return info;
+    case 0xf6:  // group3 8-bit: imm only when /0 or /1 (handled specially)
+    case 0xf7:
+      info.has_modrm = true;
+      return info;
+    case 0xf8:
+    case 0xf9:
+    case 0xfa:
+    case 0xfb:
+    case 0xfc:
+    case 0xfd:
+      return info;
+    case 0xfe:
+    case 0xff:
+      info.has_modrm = true;
+      return info;
+    default:
+      info.valid = false;
+      return info;
+  }
+}
+
+// Two-byte (0f xx) opcode map attributes for the subset we accept.
+OpcodeInfo TwoByteInfo(uint8_t op) {
+  OpcodeInfo info;
+  info.valid = true;
+  switch (op) {
+    case 0x05:  // syscall
+    case 0x34:  // sysenter
+    case 0x0b:  // ud2
+    case 0x31:  // rdtsc
+    case 0xa2:  // cpuid
+    case 0x77:  // emms
+      return info;
+    case 0x80:
+    case 0x81:
+    case 0x82:
+    case 0x83:
+    case 0x84:
+    case 0x85:
+    case 0x86:
+    case 0x87:
+    case 0x88:
+    case 0x89:
+    case 0x8a:
+    case 0x8b:
+    case 0x8c:
+    case 0x8d:
+    case 0x8e:
+    case 0x8f:  // jcc rel32
+      info.imm = ImmClass::kRel32;
+      return info;
+    case 0x70:
+    case 0x71:
+    case 0x72:
+    case 0x73:
+    case 0xba:  // bt group
+    case 0xc2:
+    case 0xc4:
+    case 0xc5:
+    case 0xc6:  // SSE compares/shuffles with ib
+      info.has_modrm = true;
+      info.imm = ImmClass::kIb;
+      return info;
+    default:
+      // setcc (90-9f), cmov (40-4f), movzx/movsx (b6/b7/be/bf), SSE moves,
+      // prefetch/nop (0d/18/1f), xadd, cmpxchg, bsf/bsr, shld/shrd (a4/ac
+      // carry ib — handled below), etc. Default to ModRM, no immediate.
+      if (op == 0xa4 || op == 0xac) {  // shld/shrd r/m, r, ib
+        info.has_modrm = true;
+        info.imm = ImmClass::kIb;
+        return info;
+      }
+      info.has_modrm = true;
+      return info;
+  }
+}
+
+}  // namespace
+
+Result<Insn> DecodeOne(std::span<const uint8_t> bytes, uint64_t vaddr) {
+  DecodeState s{bytes};
+  Insn insn;
+  insn.vaddr = vaddr;
+
+  // ---- Prefixes ----
+  bool done_prefixes = false;
+  while (!done_prefixes) {
+    if (s.pos >= bytes.size()) {
+      return OutOfRangeError("truncated instruction (prefixes)");
+    }
+    uint8_t b = bytes[s.pos];
+    switch (b) {
+      case 0x26:
+      case 0x2e:
+      case 0x36:
+      case 0x3e:
+      case 0x64:
+      case 0x65:  // segment overrides
+      case 0x67:  // address size
+      case 0xf0:  // lock
+      case 0xf2:
+      case 0xf3:  // rep/repne (also SSE mandatory prefixes)
+        ++s.pos;
+        break;
+      case 0x66:
+        s.opsize16 = true;
+        ++s.pos;
+        break;
+      default:
+        if (b >= 0x40 && b <= 0x4f) {
+          s.rex = b;
+          ++s.pos;
+          // REX must be the last prefix before the opcode.
+          done_prefixes = true;
+        } else {
+          done_prefixes = true;
+        }
+        break;
+    }
+  }
+
+  // ---- VEX prefixes (AVX) ----
+  // In 64-bit mode 0xc4/0xc5 always introduce VEX (LES/LDS are invalid).
+  // We only need lengths: VEX replaces REX + mandatory/escape prefixes and
+  // is followed by opcode + ModRM (+ imm8 for map 3).
+  if (s.pos < bytes.size() &&
+      (bytes[s.pos] == 0xc4 || bytes[s.pos] == 0xc5) && s.rex == 0 &&
+      !s.opsize16) {
+    bool three_byte_vex = bytes[s.pos] == 0xc4;
+    ++s.pos;
+    uint8_t map = 1;
+    if (three_byte_vex) {
+      LAPIS_ASSIGN_OR_RETURN(uint8_t byte1, s.Next());
+      map = byte1 & 0x1f;
+      LAPIS_ASSIGN_OR_RETURN(uint8_t byte2, s.Next());
+      (void)byte2;
+    } else {
+      LAPIS_ASSIGN_OR_RETURN(uint8_t byte1, s.Next());
+      (void)byte1;
+    }
+    LAPIS_ASSIGN_OR_RETURN(uint8_t vex_op, s.Next());
+    insn.opcode = vex_op;
+    insn.two_byte = true;
+    ModRm vex_modrm;
+    LAPIS_ASSIGN_OR_RETURN(vex_modrm, ParseModRm(s));
+    (void)vex_modrm;
+    if (map == 3) {  // 0f 3a map carries an imm8
+      LAPIS_ASSIGN_OR_RETURN(uint8_t ib, s.Next());
+      insn.imm = static_cast<int8_t>(ib);
+    }
+    insn.length = static_cast<uint8_t>(s.pos);
+    insn.kind = InsnKind::kOther;
+    return insn;
+  }
+
+  // ---- Opcode ----
+  LAPIS_ASSIGN_OR_RETURN(uint8_t op, s.Next());
+  bool two_byte = false;
+  bool three_byte_imm8 = false;
+  if (op == 0x0f) {
+    two_byte = true;
+    LAPIS_ASSIGN_OR_RETURN(op, s.Next());
+    // Three-byte maps: 0f 38 xx (ModRM, no immediate) and 0f 3a xx
+    // (ModRM + imm8). The third byte selects the instruction; we only
+    // need the length.
+    if (op == 0x38 || op == 0x3a) {
+      three_byte_imm8 = op == 0x3a;
+      LAPIS_ASSIGN_OR_RETURN(op, s.Next());
+      insn.opcode = op;
+      insn.two_byte = true;
+      OpcodeInfo info3;
+      info3.valid = true;
+      info3.has_modrm = true;
+      info3.imm = three_byte_imm8 ? ImmClass::kIb : ImmClass::kNone;
+      ModRm modrm3;
+      LAPIS_ASSIGN_OR_RETURN(modrm3, ParseModRm(s));
+      (void)modrm3;
+      if (three_byte_imm8) {
+        LAPIS_ASSIGN_OR_RETURN(uint8_t ib, s.Next());
+        insn.imm = static_cast<int8_t>(ib);
+      }
+      insn.length = static_cast<uint8_t>(s.pos);
+      insn.kind = InsnKind::kOther;
+      return insn;
+    }
+  }
+  insn.opcode = op;
+  insn.two_byte = two_byte;
+
+  OpcodeInfo info = two_byte ? TwoByteInfo(op) : OneByteInfo(op);
+  if (!info.valid) {
+    return UnimplementedError("invalid or unsupported opcode");
+  }
+
+  // ---- ModRM ----
+  ModRm modrm;
+  bool have_modrm = info.has_modrm;
+  if (have_modrm) {
+    LAPIS_ASSIGN_OR_RETURN(modrm, ParseModRm(s));
+  }
+
+  // group3 (f6/f7): /0 and /1 take an immediate.
+  ImmClass imm_class = info.imm;
+  if (!two_byte && (op == 0xf6 || op == 0xf7)) {
+    uint8_t regop = modrm.reg & 7;
+    if (regop == 0 || regop == 1) {
+      imm_class = op == 0xf6 ? ImmClass::kIb : ImmClass::kIz;
+    }
+  }
+
+  // ---- Immediates ----
+  int64_t imm = 0;
+  int64_t rel = 0;
+  bool have_rel = false;
+  switch (imm_class) {
+    case ImmClass::kNone:
+      break;
+    case ImmClass::kIb: {
+      LAPIS_ASSIGN_OR_RETURN(uint8_t v, s.Next());
+      imm = static_cast<int8_t>(v);
+      break;
+    }
+    case ImmClass::kIw: {
+      LAPIS_ASSIGN_OR_RETURN(uint16_t v, s.NextU16());
+      imm = static_cast<int16_t>(v);
+      break;
+    }
+    case ImmClass::kIz: {
+      if (s.opsize16) {
+        LAPIS_ASSIGN_OR_RETURN(uint16_t v, s.NextU16());
+        imm = static_cast<int16_t>(v);
+      } else {
+        LAPIS_ASSIGN_OR_RETURN(uint32_t v, s.NextU32());
+        imm = static_cast<int32_t>(v);
+      }
+      break;
+    }
+    case ImmClass::kIv: {
+      if (s.RexW()) {
+        LAPIS_ASSIGN_OR_RETURN(uint64_t v, s.NextU64());
+        imm = static_cast<int64_t>(v);
+      } else if (s.opsize16) {
+        LAPIS_ASSIGN_OR_RETURN(uint16_t v, s.NextU16());
+        imm = static_cast<int16_t>(v);
+      } else {
+        LAPIS_ASSIGN_OR_RETURN(uint32_t v, s.NextU32());
+        // mov r32, imm32 zero-extends; keep the unsigned value.
+        imm = static_cast<int64_t>(static_cast<uint64_t>(v));
+      }
+      break;
+    }
+    case ImmClass::kRel8: {
+      LAPIS_ASSIGN_OR_RETURN(uint8_t v, s.Next());
+      rel = static_cast<int8_t>(v);
+      have_rel = true;
+      break;
+    }
+    case ImmClass::kRel32: {
+      LAPIS_ASSIGN_OR_RETURN(uint32_t v, s.NextU32());
+      rel = static_cast<int32_t>(v);
+      have_rel = true;
+      break;
+    }
+    case ImmClass::kMoffs: {
+      LAPIS_ASSIGN_OR_RETURN(uint64_t v, s.NextU64());
+      imm = static_cast<int64_t>(v);
+      break;
+    }
+    case ImmClass::kIwIb: {
+      LAPIS_ASSIGN_OR_RETURN(uint16_t w, s.NextU16());
+      LAPIS_ASSIGN_OR_RETURN(uint8_t b, s.Next());
+      imm = w;
+      (void)b;
+      break;
+    }
+  }
+
+  insn.length = static_cast<uint8_t>(s.pos);
+  uint64_t next_vaddr = vaddr + insn.length;
+  if (have_rel) {
+    insn.target = next_vaddr + static_cast<uint64_t>(rel);
+  }
+  insn.imm = imm;
+
+  // ---- Classification ----
+  if (two_byte) {
+    if (op == 0x05) {
+      insn.kind = InsnKind::kSyscall;
+    } else if (op == 0x34) {
+      insn.kind = InsnKind::kSysenter;
+    } else if (op >= 0x80 && op <= 0x8f) {
+      insn.kind = InsnKind::kJccRel;
+    } else if (op == 0x1f) {
+      insn.kind = InsnKind::kNop;
+    }
+    return insn;
+  }
+
+  if (op == 0xcd) {
+    insn.kind = InsnKind::kInt;
+    return insn;
+  }
+  if (op == 0xe8) {
+    insn.kind = InsnKind::kCallRel32;
+    return insn;
+  }
+  if (op == 0xe9 || op == 0xeb) {
+    insn.kind = InsnKind::kJmpRel;
+    return insn;
+  }
+  if (op >= 0x70 && op <= 0x7f) {
+    insn.kind = InsnKind::kJccRel;
+    return insn;
+  }
+  if (op == 0xc3 || op == 0xc2) {
+    insn.kind = InsnKind::kRet;
+    return insn;
+  }
+  if (op == 0x90) {
+    insn.kind = InsnKind::kNop;
+    return insn;
+  }
+  if (op >= 0xb8 && op <= 0xbf) {
+    insn.kind = InsnKind::kMovRegImm;
+    insn.reg = static_cast<uint8_t>((op - 0xb8) | (s.RexB() ? 8 : 0));
+    return insn;
+  }
+  if (op == 0xc7 && have_modrm && modrm.mod == 3 && (modrm.reg & 7) == 0) {
+    insn.kind = InsnKind::kMovRegImm;  // c7 /0: mov r/m, imm32
+    insn.reg = modrm.rm;
+    return insn;
+  }
+  if ((op == 0x31 || op == 0x33) && have_modrm && modrm.mod == 3 &&
+      modrm.reg == modrm.rm) {
+    insn.kind = InsnKind::kXorRegReg;  // xor reg, reg == zeroing idiom
+    insn.reg = modrm.rm;
+    return insn;
+  }
+  if (op == 0x8d && have_modrm && modrm.rip_relative) {
+    insn.kind = InsnKind::kLeaRipRel;
+    insn.reg = modrm.reg;
+    insn.target = next_vaddr + static_cast<uint64_t>(
+        static_cast<int64_t>(modrm.disp));
+    return insn;
+  }
+  if ((op == 0x89 || op == 0x8b) && have_modrm && modrm.mod == 3) {
+    insn.kind = InsnKind::kMovRegReg;
+    if (op == 0x89) {  // mov r/m, r: dest = rm
+      insn.reg = modrm.rm;
+      insn.reg2 = modrm.reg;
+    } else {  // 8b: mov r, r/m
+      insn.reg = modrm.reg;
+      insn.reg2 = modrm.rm;
+    }
+    return insn;
+  }
+  if (op == 0xff && have_modrm) {
+    uint8_t regop = modrm.reg & 7;
+    if (regop == 2 || regop == 3) {
+      insn.kind = InsnKind::kCallIndirect;
+    } else if (regop == 4 || regop == 5) {
+      insn.kind = InsnKind::kJmpIndirect;
+    }
+    if (modrm.rip_relative &&
+        (insn.kind == InsnKind::kCallIndirect ||
+         insn.kind == InsnKind::kJmpIndirect)) {
+      insn.target = next_vaddr + static_cast<uint64_t>(
+          static_cast<int64_t>(modrm.disp));
+    }
+    return insn;
+  }
+
+  return insn;  // kOther, length-only
+}
+
+SweepResult LinearSweep(std::span<const uint8_t> bytes, uint64_t vaddr) {
+  SweepResult result;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    auto decoded = DecodeOne(bytes.subspan(pos), vaddr + pos);
+    if (!decoded.ok()) {
+      result.complete = false;
+      break;
+    }
+    pos += decoded.value().length;
+    result.insns.push_back(decoded.take());
+  }
+  result.decoded_bytes = pos;
+  return result;
+}
+
+}  // namespace lapis::disasm

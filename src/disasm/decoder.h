@@ -1,0 +1,42 @@
+// x86-64 instruction decoder (length + selective semantics).
+//
+// Covers the one-byte opcode map and the common two-byte (0f) map: legacy
+// prefixes, REX, ModRM/SIB/displacement forms, and every immediate class.
+// Instructions the analysis cares about (syscall/sysenter/int, direct and
+// indirect calls and jumps, mov-immediate, xor-zeroing, rip-relative lea) are
+// classified; everything else is decoded for length only (InsnKind::kOther).
+//
+// Unknown or truncated encodings return an error rather than guessing, so a
+// linear sweep cannot silently desynchronize.
+
+#ifndef LAPIS_SRC_DISASM_DECODER_H_
+#define LAPIS_SRC_DISASM_DECODER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/disasm/insn.h"
+#include "src/util/status.h"
+
+namespace lapis::disasm {
+
+// Decodes the instruction at bytes[0]; `vaddr` is its virtual address (used
+// to compute absolute targets for relative branches and rip-relative
+// operands).
+Result<Insn> DecodeOne(std::span<const uint8_t> bytes, uint64_t vaddr);
+
+// Linear sweep over a byte range (typically one function body). Stops at the
+// end of the range; on an undecodable byte sequence returns what was decoded
+// so far plus ok=false.
+struct SweepResult {
+  std::vector<Insn> insns;
+  bool complete = true;       // false if decoding stopped early
+  uint64_t decoded_bytes = 0;
+};
+
+SweepResult LinearSweep(std::span<const uint8_t> bytes, uint64_t vaddr);
+
+}  // namespace lapis::disasm
+
+#endif  // LAPIS_SRC_DISASM_DECODER_H_

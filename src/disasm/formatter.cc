@@ -1,0 +1,163 @@
+#include "src/disasm/formatter.h"
+
+#include <cstdio>
+
+#include "src/disasm/decoder.h"
+
+namespace lapis::disasm {
+
+namespace {
+
+std::string Hex(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string Target(uint64_t vaddr, const Symbolizer& symbolizer) {
+  std::string out = Hex(vaddr);
+  if (symbolizer) {
+    std::string label = symbolizer(vaddr);
+    if (!label.empty()) {
+      out += " <" + label + ">";
+    }
+  }
+  return out;
+}
+
+// The mnemonic + operands column.
+std::string Mnemonic(const Insn& insn, const Symbolizer& symbolizer) {
+  char buf[96];
+  switch (insn.kind) {
+    case InsnKind::kSyscall:
+      return "syscall";
+    case InsnKind::kSysenter:
+      return "sysenter";
+    case InsnKind::kInt:
+      std::snprintf(buf, sizeof(buf), "int $%s",
+                    Hex(static_cast<uint64_t>(insn.imm & 0xff)).c_str());
+      return buf;
+    case InsnKind::kCallRel32:
+      return "call " + Target(insn.target, symbolizer);
+    case InsnKind::kJmpRel:
+      return "jmp " + Target(insn.target, symbolizer);
+    case InsnKind::kJccRel:
+      return "jcc " + Target(insn.target, symbolizer);
+    case InsnKind::kCallIndirect:
+      return insn.target != 0
+                 ? "call *" + Target(insn.target, symbolizer)
+                 : "call *%reg";
+    case InsnKind::kJmpIndirect:
+      return insn.target != 0 ? "jmp *" + Target(insn.target, symbolizer)
+                              : "jmp *%reg";
+    case InsnKind::kRet:
+      return "ret";
+    case InsnKind::kMovRegImm:
+      std::snprintf(buf, sizeof(buf), "mov $%s, %%%s",
+                    Hex(static_cast<uint64_t>(insn.imm)).c_str(),
+                    RegName64(insn.reg));
+      return buf;
+    case InsnKind::kXorRegReg:
+      std::snprintf(buf, sizeof(buf), "xor %%%s, %%%s", RegName64(insn.reg),
+                    RegName64(insn.reg));
+      return buf;
+    case InsnKind::kLeaRipRel:
+      return std::string("lea ") + Target(insn.target, symbolizer) +
+             "(%rip), %" + RegName64(insn.reg);
+    case InsnKind::kMovRegReg:
+      std::snprintf(buf, sizeof(buf), "mov %%%s, %%%s",
+                    RegName64(insn.reg2), RegName64(insn.reg));
+      return buf;
+    case InsnKind::kNop:
+      return "nop";
+    case InsnKind::kOther:
+      // A few common no-operand-display forms keep listings readable.
+      if (!insn.two_byte) {
+        if (insn.opcode >= 0x50 && insn.opcode <= 0x57) {
+          std::snprintf(buf, sizeof(buf), "push %%%s",
+                        RegName64(insn.opcode - 0x50));
+          return buf;
+        }
+        if (insn.opcode >= 0x58 && insn.opcode <= 0x5f) {
+          std::snprintf(buf, sizeof(buf), "pop %%%s",
+                        RegName64(insn.opcode - 0x58));
+          return buf;
+        }
+        switch (insn.opcode) {
+          case 0xc9:
+            return "leave";
+          case 0xcc:
+            return "int3";
+          case 0xf4:
+            return "hlt";
+          case 0x83:
+            return "alu $imm8, r/m";
+          case 0x81:
+            return "alu $imm32, r/m";
+          default:
+            break;
+        }
+      } else if (insn.opcode == 0xa2) {
+        return "cpuid";
+      } else if (insn.opcode == 0x31) {
+        return "rdtsc";
+      }
+      std::snprintf(buf, sizeof(buf), ".insn %s0x%02x",
+                    insn.two_byte ? "0x0f," : "", insn.opcode);
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FormatInsn(const Insn& insn, std::span<const uint8_t> bytes,
+                       const Symbolizer& symbolizer) {
+  char addr[32];
+  std::snprintf(addr, sizeof(addr), "%8llx:\t",
+                static_cast<unsigned long long>(insn.vaddr));
+  std::string out = addr;
+  for (size_t i = 0; i < insn.length && i < bytes.size(); ++i) {
+    char byte[8];
+    std::snprintf(byte, sizeof(byte), "%02x ", bytes[i]);
+    out += byte;
+  }
+  // Pad the hex column to a fixed width (objdump uses 7 byte slots).
+  size_t hex_width = 3 * 11;
+  size_t hex_len = 3 * insn.length;
+  if (hex_len < hex_width) {
+    out += std::string(hex_width - hex_len, ' ');
+  }
+  out += Mnemonic(insn, symbolizer);
+  return out;
+}
+
+std::string FormatListing(std::span<const uint8_t> bytes, uint64_t vaddr,
+                          const Symbolizer& symbolizer) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    auto decoded = DecodeOne(bytes.subspan(pos), vaddr + pos);
+    if (!decoded.ok()) {
+      char bad[64];
+      std::snprintf(bad, sizeof(bad), "%8llx:\t%02x (bad)\n",
+                    static_cast<unsigned long long>(vaddr + pos),
+                    bytes[pos]);
+      out += bad;
+      break;
+    }
+    if (symbolizer) {
+      std::string label = symbolizer(vaddr + pos);
+      if (!label.empty()) {
+        out += "\n" + Hex(vaddr + pos) + " <" + label + ">:\n";
+      }
+    }
+    out += FormatInsn(decoded.value(), bytes.subspan(pos), symbolizer);
+    out += "\n";
+    pos += decoded.value().length;
+  }
+  return out;
+}
+
+}  // namespace lapis::disasm

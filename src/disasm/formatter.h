@@ -1,0 +1,32 @@
+// AT&T-style instruction and listing formatting (the study's equivalent of
+// `objdump -d`, which the paper used as its disassembler front end).
+
+#ifndef LAPIS_SRC_DISASM_FORMATTER_H_
+#define LAPIS_SRC_DISASM_FORMATTER_H_
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "src/disasm/insn.h"
+
+namespace lapis::disasm {
+
+// Optional symbolizer: maps a virtual address to a label ("<main>",
+// "<read@plt>"); return an empty string for unknown addresses.
+using Symbolizer = std::function<std::string(uint64_t)>;
+
+// One instruction in AT&T-flavoured syntax, e.g.
+//   "  401000:  b8 10 00 00 00   mov $0x10, %eax".
+// `bytes` must cover the instruction (used for the hex column).
+std::string FormatInsn(const Insn& insn, std::span<const uint8_t> bytes,
+                       const Symbolizer& symbolizer = nullptr);
+
+// Disassembles a byte range into an objdump-style listing. Undecodable
+// bytes produce a single "(bad)" line and stop the listing.
+std::string FormatListing(std::span<const uint8_t> bytes, uint64_t vaddr,
+                          const Symbolizer& symbolizer = nullptr);
+
+}  // namespace lapis::disasm
+
+#endif  // LAPIS_SRC_DISASM_FORMATTER_H_

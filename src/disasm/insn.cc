@@ -1,0 +1,99 @@
+#include "src/disasm/insn.h"
+
+#include <cstdio>
+
+namespace lapis::disasm {
+
+const char* RegName64(uint8_t reg) {
+  static const char* kNames[16] = {
+      "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+      "r8",  "r9",  "r10", "r11", "r12", "r13", "r14", "r15",
+  };
+  if (reg < 16) {
+    return kNames[reg];
+  }
+  return "?";
+}
+
+const char* InsnKindName(InsnKind kind) {
+  switch (kind) {
+    case InsnKind::kSyscall:
+      return "syscall";
+    case InsnKind::kSysenter:
+      return "sysenter";
+    case InsnKind::kInt:
+      return "int";
+    case InsnKind::kCallRel32:
+      return "call";
+    case InsnKind::kJmpRel:
+      return "jmp";
+    case InsnKind::kJccRel:
+      return "jcc";
+    case InsnKind::kCallIndirect:
+      return "call*";
+    case InsnKind::kJmpIndirect:
+      return "jmp*";
+    case InsnKind::kRet:
+      return "ret";
+    case InsnKind::kMovRegImm:
+      return "mov-imm";
+    case InsnKind::kXorRegReg:
+      return "xor-zero";
+    case InsnKind::kLeaRipRel:
+      return "lea-rip";
+    case InsnKind::kMovRegReg:
+      return "mov-reg";
+    case InsnKind::kNop:
+      return "nop";
+    case InsnKind::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::string Insn::ToString() const {
+  char buf[128];
+  switch (kind) {
+    case InsnKind::kMovRegImm:
+      std::snprintf(buf, sizeof(buf), "%llx: mov %s, 0x%llx",
+                    static_cast<unsigned long long>(vaddr), RegName64(reg),
+                    static_cast<unsigned long long>(imm));
+      break;
+    case InsnKind::kXorRegReg:
+      std::snprintf(buf, sizeof(buf), "%llx: xor %s, %s",
+                    static_cast<unsigned long long>(vaddr), RegName64(reg),
+                    RegName64(reg));
+      break;
+    case InsnKind::kLeaRipRel:
+      std::snprintf(buf, sizeof(buf), "%llx: lea %s, [rip -> 0x%llx]",
+                    static_cast<unsigned long long>(vaddr), RegName64(reg),
+                    static_cast<unsigned long long>(target));
+      break;
+    case InsnKind::kMovRegReg:
+      std::snprintf(buf, sizeof(buf), "%llx: mov %s, %s",
+                    static_cast<unsigned long long>(vaddr), RegName64(reg),
+                    RegName64(reg2));
+      break;
+    case InsnKind::kCallRel32:
+    case InsnKind::kJmpRel:
+    case InsnKind::kJccRel:
+      std::snprintf(buf, sizeof(buf), "%llx: %s 0x%llx",
+                    static_cast<unsigned long long>(vaddr),
+                    InsnKindName(kind),
+                    static_cast<unsigned long long>(target));
+      break;
+    case InsnKind::kInt:
+      std::snprintf(buf, sizeof(buf), "%llx: int 0x%llx",
+                    static_cast<unsigned long long>(vaddr),
+                    static_cast<unsigned long long>(imm));
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "%llx: %s",
+                    static_cast<unsigned long long>(vaddr),
+                    InsnKindName(kind));
+      break;
+  }
+  return buf;
+}
+
+}  // namespace lapis::disasm

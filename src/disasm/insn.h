@@ -1,0 +1,77 @@
+// x86-64 instruction model produced by the decoder.
+//
+// The study's analysis needs a small amount of semantic information per
+// instruction — enough to find system-call sites, back-track immediate
+// register values, follow direct calls, and resolve rip-relative data
+// references. Everything else only needs a correct instruction *length* so
+// linear sweep stays in sync.
+
+#ifndef LAPIS_SRC_DISASM_INSN_H_
+#define LAPIS_SRC_DISASM_INSN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lapis::disasm {
+
+// General-purpose register numbers (x86-64 encoding order).
+enum Reg : uint8_t {
+  kRax = 0,
+  kRcx = 1,
+  kRdx = 2,
+  kRbx = 3,
+  kRsp = 4,
+  kRbp = 5,
+  kRsi = 6,
+  kRdi = 7,
+  kR8 = 8,
+  kR9 = 9,
+  kR10 = 10,
+  kR11 = 11,
+  kR12 = 12,
+  kR13 = 13,
+  kR14 = 14,
+  kR15 = 15,
+  kRegNone = 0xff,
+};
+
+const char* RegName64(uint8_t reg);
+
+enum class InsnKind : uint8_t {
+  kSyscall,        // 0f 05
+  kSysenter,       // 0f 34
+  kInt,            // cd ib (imm==0x80 -> legacy syscall gate)
+  kCallRel32,      // e8; `target` = absolute destination
+  kJmpRel,         // e9 / eb; `target` = absolute destination
+  kJccRel,         // 70-7f / 0f 80-8f; `target` = absolute destination
+  kCallIndirect,   // ff /2; `target` set if rip-relative memory operand
+  kJmpIndirect,    // ff /4; `target` set if rip-relative memory operand
+  kRet,            // c3 / c2
+  kMovRegImm,      // b8+r iz/iv, c7 /0 iz: `reg` <- `imm`
+  kXorRegReg,      // 31/33 with mod=11 and same reg: `reg` <- 0
+  kLeaRipRel,      // 8d with rip-relative operand: `reg` <- &[`target`]
+  kMovRegReg,      // 89/8b with mod=11: `reg` <- `reg2`
+  kNop,
+  kOther,          // decoded for length only
+};
+
+const char* InsnKindName(InsnKind kind);
+
+struct Insn {
+  uint64_t vaddr = 0;
+  uint8_t length = 0;
+  InsnKind kind = InsnKind::kOther;
+  uint8_t reg = kRegNone;   // destination register where meaningful
+  uint8_t reg2 = kRegNone;  // source register for kMovRegReg
+  int64_t imm = 0;          // immediate value where meaningful
+  uint64_t target = 0;      // absolute branch target / rip-relative address
+  uint8_t opcode = 0;       // primary opcode byte (after prefixes/0f)
+  bool two_byte = false;    // opcode was in the 0f map
+
+  // Debug rendering, e.g. "401000: mov eax, 0x10".
+  std::string ToString() const;
+};
+
+}  // namespace lapis::disasm
+
+#endif  // LAPIS_SRC_DISASM_INSN_H_

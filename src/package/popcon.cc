@@ -1,0 +1,86 @@
+#include "src/package/popcon.h"
+
+#include <algorithm>
+
+namespace lapis::package {
+
+size_t InstallationSet::CountInstalled() const {
+  size_t count = 0;
+  for (uint64_t word : bits_) {
+    count += static_cast<size_t>(__builtin_popcountll(word));
+  }
+  return count;
+}
+
+Result<PopconSurvey> PopconSimulator::Run(
+    const Repository& repository, const std::vector<double>& target_marginals,
+    const PopconOptions& options) {
+  const size_t n = repository.size();
+  if (target_marginals.size() != n) {
+    return InvalidArgumentError("marginals size mismatch");
+  }
+  if (options.installation_count == 0) {
+    return InvalidArgumentError("installation_count must be positive");
+  }
+
+  // Precompute dependency closures once; sampling touches them constantly.
+  std::vector<std::vector<PackageId>> closures(n);
+  for (PackageId id = 0; id < n; ++id) {
+    closures[id] = repository.DependencyClosure(id);
+  }
+
+  const uint32_t profiles = options.profile_count;
+  double boost = options.profile_boost;
+  if (profiles > 1 && boost > static_cast<double>(profiles)) {
+    boost = static_cast<double>(profiles);  // keep the dampened arm >= 0
+  }
+  const double dampen =
+      profiles > 1 ? (static_cast<double>(profiles) - boost) /
+                         (static_cast<double>(profiles) - 1.0)
+                   : 1.0;
+
+  PopconSurvey survey;
+  survey.install_counts.assign(n, 0);
+  Prng prng(options.seed);
+
+  std::vector<uint8_t> installed(n, 0);
+  for (uint64_t inst = 0; inst < options.installation_count; ++inst) {
+    std::fill(installed.begin(), installed.end(), 0);
+    uint32_t profile =
+        profiles > 1 ? static_cast<uint32_t>(prng.NextBelow(profiles)) : 0;
+    for (PackageId id = 0; id < n; ++id) {
+      double marginal = target_marginals[id];
+      if (profiles > 1 && marginal <= 0.5) {
+        marginal = std::min(
+            1.0, marginal * (id % profiles == profile ? boost : dampen));
+      }
+      if (installed[id] == 0 && prng.NextBool(marginal)) {
+        for (PackageId member : closures[id]) {
+          installed[member] = 1;
+        }
+      }
+    }
+    bool reports = prng.NextBool(options.report_rate);
+    if (!reports) {
+      continue;
+    }
+    ++survey.total_reporting;
+    for (PackageId id = 0; id < n; ++id) {
+      if (installed[id] != 0) {
+        ++survey.install_counts[id];
+      }
+    }
+    if (survey.samples.size() < options.retain_samples) {
+      InstallationSet sample(n);
+      for (PackageId id = 0; id < n; ++id) {
+        if (installed[id] != 0) {
+          sample.Add(id);
+        }
+      }
+      survey.samples.push_back(std::move(sample));
+    }
+  }
+  return survey;
+}
+
+}  // namespace lapis::package

@@ -1,0 +1,117 @@
+// Lightweight error-handling primitives used throughout lapis.
+//
+// lapis avoids exceptions on hot analysis paths; fallible operations return
+// Status (or Result<T>) and callers propagate with LAPIS_RETURN_IF_ERROR /
+// LAPIS_ASSIGN_OR_RETURN.
+
+#ifndef LAPIS_SRC_UTIL_STATUS_H_
+#define LAPIS_SRC_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lapis {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruptData,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+};
+
+// Returns a stable human-readable name, e.g. "CORRUPT_DATA".
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value: code plus a context message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "CORRUPT_DATA: bad magic" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status CorruptDataError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status IoError(std::string message);
+
+// Holds either a T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(value_);
+  }
+
+  // Precondition: ok().
+  T& value() { return std::get<T>(value_); }
+  const T& value() const { return std::get<T>(value_); }
+
+  // Moves the value out, returning by value so `for (auto& x : r.take())`
+  // over a temporary Result is lifetime-safe. Precondition: ok().
+  T take() { return std::move(std::get<T>(value_)); }
+
+  T value_or(T fallback) const { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+#define LAPIS_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::lapis::Status lapis_status_ = (expr);  \
+    if (!lapis_status_.ok()) {               \
+      return lapis_status_;                  \
+    }                                        \
+  } while (0)
+
+#define LAPIS_CONCAT_INNER_(a, b) a##b
+#define LAPIS_CONCAT_(a, b) LAPIS_CONCAT_INNER_(a, b)
+
+#define LAPIS_ASSIGN_OR_RETURN(lhs, expr)                           \
+  auto LAPIS_CONCAT_(lapis_result_, __LINE__) = (expr);             \
+  if (!LAPIS_CONCAT_(lapis_result_, __LINE__).ok()) {               \
+    return LAPIS_CONCAT_(lapis_result_, __LINE__).status();         \
+  }                                                                 \
+  lhs = LAPIS_CONCAT_(lapis_result_, __LINE__).take()
+
+}  // namespace lapis
+
+#endif  // LAPIS_SRC_UTIL_STATUS_H_

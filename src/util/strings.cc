@@ -1,0 +1,96 @@
+#include "src/util/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lapis {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string FormatWithCommas(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return FormatDouble(fraction * 100.0, decimals) + "%";
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+bool IsPrintableAscii(std::string_view s) {
+  for (char c : s) {
+    if (c < 0x20 || c > 0x7e) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsPseudoFilePath(std::string_view path) {
+  return path.starts_with("/proc/") || path.starts_with("/sys/") ||
+         path.starts_with("/dev/") || path == "/proc" || path == "/sys" ||
+         path == "/dev";
+}
+
+std::string CanonicalizePseudoPath(std::string_view path) {
+  std::string out;
+  out.reserve(path.size());
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (path[i] == '%' && i + 1 < path.size()) {
+      // Swallow a printf conversion: optional flags/width then one
+      // conversion character.
+      out.push_back('%');
+      size_t j = i + 1;
+      while (j < path.size() &&
+             (path[j] == '-' || path[j] == '0' || path[j] == '+' ||
+              (path[j] >= '0' && path[j] <= '9') || path[j] == '.' ||
+              path[j] == 'l' || path[j] == 'z' || path[j] == 'h')) {
+        ++j;
+      }
+      if (j < path.size()) {
+        ++j;  // conversion char (d, s, u, x, ...)
+      }
+      i = j - 1;
+    } else {
+      out.push_back(path[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lapis

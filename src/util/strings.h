@@ -1,0 +1,44 @@
+// Small string utilities shared across lapis modules.
+
+#ifndef LAPIS_SRC_UTIL_STRINGS_H_
+#define LAPIS_SRC_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lapis {
+
+// Splits on a single-character delimiter; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// "12,345,678" — thousands separators, for report output.
+std::string FormatWithCommas(uint64_t value);
+
+// "12.3%" with the given number of decimals.
+std::string FormatPercent(double fraction, int decimals = 1);
+
+// Fixed-point decimal, e.g. FormatDouble(1.2345, 2) == "1.23".
+std::string FormatDouble(double value, int decimals);
+
+// True if `s` looks like a printable-ASCII string (used when scanning
+// .rodata for hard-coded paths).
+bool IsPrintableAscii(std::string_view s);
+
+// True if `path` is a pseudo-filesystem path the study tracks
+// (/proc, /sys, /dev), including printf-style templates like
+// "/proc/%d/cmdline".
+bool IsPseudoFilePath(std::string_view path);
+
+// Canonicalizes a printf-style pseudo-file template: every %-conversion
+// becomes "%"; e.g. "/proc/%d/cmdline" -> "/proc/%/cmdline". Non-template
+// paths are returned unchanged.
+std::string CanonicalizePseudoPath(std::string_view path);
+
+}  // namespace lapis
+
+#endif  // LAPIS_SRC_UTIL_STRINGS_H_

@@ -1,0 +1,39 @@
+// Aligned plain-text table rendering for bench/report output.
+//
+// Every bench binary prints "paper value vs. measured value" rows; this
+// writer keeps them readable and diffable.
+
+#ifndef LAPIS_SRC_UTIL_TABLE_WRITER_H_
+#define LAPIS_SRC_UTIL_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lapis {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header rule and column padding.
+  void Print(std::ostream& os) const;
+
+  // Tab-separated output for machine consumption.
+  void PrintTsv(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner: "== title ==".
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace lapis
+
+#endif  // LAPIS_SRC_UTIL_TABLE_WRITER_H_

@@ -1,0 +1,513 @@
+// Static-analysis tests over hand-built ELF binaries with known ground
+// truth: syscall-number recovery, vectored opcodes, pseudo-path extraction,
+// call-graph reachability, per-export footprints, and cross-library
+// resolution.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/analysis/binary_analyzer.h"
+#include "src/analysis/library_resolver.h"
+#include "src/codegen/function_builder.h"
+#include "src/elf/elf_builder.h"
+#include "src/elf/elf_reader.h"
+
+namespace lapis::analysis {
+namespace {
+
+using codegen::FunctionBuilder;
+using elf::BinaryType;
+using elf::ElfBuilder;
+using elf::ElfImage;
+
+ElfImage Parse(const Result<std::vector<uint8_t>>& bytes) {
+  EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto image = elf::ElfReader::Parse(bytes.value());
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  return image.ok() ? image.take() : ElfImage();
+}
+
+BinaryAnalysis Analyze(const ElfImage& image) {
+  auto analysis = BinaryAnalyzer::Analyze(image);
+  EXPECT_TRUE(analysis.ok()) << analysis.status().ToString();
+  return analysis.take();
+}
+
+TEST(BinaryAnalyzer, RecoversDirectSyscallNumbers) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  FunctionBuilder fn("_start");
+  fn.EmitPrologue();
+  fn.MovRegImm32(disasm::kRax, 0);   // read
+  fn.Syscall();
+  fn.MovRegImm32(disasm::kRax, 60);  // exit
+  fn.Syscall();
+  fn.XorRegReg(disasm::kRax);        // read again via xor-zero
+  fn.Syscall();
+  fn.EmitEpilogue();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+
+  BinaryAnalysis analysis = Analyze(Parse(builder.Build()));
+  auto reach = analysis.FromEntry();
+  EXPECT_EQ(reach.footprint.syscalls, (std::set<int>{0, 60}));
+  EXPECT_EQ(analysis.unknown_syscall_sites, 0);
+  EXPECT_EQ(analysis.total_syscall_sites, 3);
+}
+
+TEST(BinaryAnalyzer, MovRegRegPropagatesSyscallNumber) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  FunctionBuilder fn("_start");
+  fn.MovRegImm32(disasm::kRdi, 39);       // getpid into rdi
+  fn.MovRegReg(disasm::kRax, disasm::kRdi);
+  fn.Syscall();
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  BinaryAnalysis analysis = Analyze(Parse(builder.Build()));
+  EXPECT_EQ(analysis.FromEntry().footprint.syscalls, (std::set<int>{39}));
+}
+
+TEST(BinaryAnalyzer, ObfuscatedSiteCountsAsUnknown) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  FunctionBuilder fn("_start");
+  fn.MovRegImm32Obfuscated(disasm::kRax, 1);
+  fn.Syscall();
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  BinaryAnalysis analysis = Analyze(Parse(builder.Build()));
+  EXPECT_TRUE(analysis.FromEntry().footprint.syscalls.empty());
+  EXPECT_EQ(analysis.unknown_syscall_sites, 1);
+}
+
+TEST(BinaryAnalyzer, VectoredOpcodesDirectSyscall) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  FunctionBuilder fn("_start");
+  // ioctl(fd, TCGETS): rsi = 0x5401, rax = 16.
+  fn.MovRegImm32(disasm::kRsi, 0x5401);
+  fn.MovRegImm32(disasm::kRax, 16);
+  fn.Syscall();
+  // fcntl(fd, F_GETFL=3).
+  fn.MovRegImm32(disasm::kRsi, 3);
+  fn.MovRegImm32(disasm::kRax, 72);
+  fn.Syscall();
+  // prctl(PR_SET_NAME=15, ...): option in rdi.
+  fn.MovRegImm32(disasm::kRdi, 15);
+  fn.MovRegImm32(disasm::kRax, 157);
+  fn.Syscall();
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  BinaryAnalysis analysis = Analyze(Parse(builder.Build()));
+  auto fp = analysis.FromEntry().footprint;
+  EXPECT_EQ(fp.ioctl_ops, (std::set<uint32_t>{0x5401}));
+  EXPECT_EQ(fp.fcntl_ops, (std::set<uint32_t>{3}));
+  EXPECT_EQ(fp.prctl_ops, (std::set<uint32_t>{15}));
+}
+
+TEST(BinaryAnalyzer, VectoredOpcodeViaPltWrapper) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  builder.AddNeeded("libc.so.6");
+  uint32_t ioctl_imp = builder.AddImport("ioctl");
+  uint32_t syscall_imp = builder.AddImport("syscall");
+  FunctionBuilder fn("_start");
+  fn.MovRegImm32(disasm::kRsi, 0x5413);  // TIOCGWINSZ
+  fn.CallImport(ioctl_imp);
+  // syscall(318): getrandom via the libc syscall() wrapper.
+  fn.MovRegImm32(disasm::kRdi, 318);
+  fn.CallImport(syscall_imp);
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  BinaryAnalysis analysis = Analyze(Parse(builder.Build()));
+  auto reach = analysis.FromEntry();
+  EXPECT_EQ(reach.footprint.ioctl_ops, (std::set<uint32_t>{0x5413}));
+  EXPECT_EQ(reach.footprint.syscalls, (std::set<int>{318}));
+  EXPECT_EQ(reach.plt_calls,
+            (std::set<std::string>{"ioctl", "syscall"}));
+}
+
+TEST(BinaryAnalyzer, UnknownOpcodeAfterClobber) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  builder.AddNeeded("libc.so.6");
+  uint32_t ioctl_imp = builder.AddImport("ioctl");
+  uint32_t other_imp = builder.AddImport("foo");
+  FunctionBuilder fn("_start");
+  fn.MovRegImm32(disasm::kRsi, 0x5401);
+  fn.CallImport(other_imp);   // clobbers rsi (caller-saved)
+  fn.CallImport(ioctl_imp);   // opcode unknown here
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  BinaryAnalysis analysis = Analyze(Parse(builder.Build()));
+  auto fp = analysis.FromEntry().footprint;
+  EXPECT_TRUE(fp.ioctl_ops.empty());
+  EXPECT_EQ(fp.unknown_opcode_sites, 1);
+}
+
+TEST(BinaryAnalyzer, PseudoPathExtraction) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  builder.AddNeeded("libc.so.6");
+  uint32_t open_imp = builder.AddImport("open");
+  uint32_t sprintf_imp = builder.AddImport("sprintf");
+  uint32_t null_off = builder.AddRodataString("/dev/null");
+  uint32_t tmpl_off = builder.AddRodataString("/proc/%d/cmdline");
+  uint32_t etc_off = builder.AddRodataString("/etc/passwd");
+  FunctionBuilder fn("_start");
+  fn.LeaRodata(disasm::kRdi, null_off);
+  fn.CallImport(open_imp);
+  fn.LeaRodata(disasm::kRsi, tmpl_off);
+  fn.CallImport(sprintf_imp);
+  fn.LeaRodata(disasm::kRdi, etc_off);  // not a pseudo path
+  fn.CallImport(open_imp);
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  BinaryAnalysis analysis = Analyze(Parse(builder.Build()));
+  EXPECT_EQ(analysis.FromEntry().footprint.pseudo_paths,
+            (std::set<std::string>{"/dev/null", "/proc/%/cmdline"}));
+}
+
+TEST(BinaryAnalyzer, CallGraphReachability) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  // helper_used: syscall 1; helper_dead: syscall 2 (never called).
+  FunctionBuilder used("helper_used");
+  used.MovRegImm32(disasm::kRax, 1);
+  used.Syscall();
+  used.Ret();
+  uint32_t used_idx = builder.AddFunction(used.Finish(false));
+  FunctionBuilder dead("helper_dead");
+  dead.MovRegImm32(disasm::kRax, 2);
+  dead.Syscall();
+  dead.Ret();
+  builder.AddFunction(dead.Finish(false));
+  FunctionBuilder start("_start");
+  start.CallLocal(used_idx);
+  start.Ret();
+  uint32_t start_idx = builder.AddFunction(start.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(start_idx).ok());
+
+  BinaryAnalysis analysis = Analyze(Parse(builder.Build()));
+  auto reach = analysis.FromEntry();
+  EXPECT_EQ(reach.footprint.syscalls, (std::set<int>{1}));
+  EXPECT_EQ(reach.function_count, 2u);
+
+  // Whole-binary roots find the dead helper too.
+  const FunctionInfo* dead_fn = analysis.FunctionNamed("helper_dead");
+  ASSERT_NE(dead_fn, nullptr);
+  auto all = analysis.Reachable(
+      {analysis.entry(), dead_fn->vaddr});
+  EXPECT_EQ(all.footprint.syscalls, (std::set<int>{1, 2}));
+}
+
+TEST(BinaryAnalyzer, RecursionTerminates) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  // f calls g, g calls f (mutual recursion).
+  FunctionBuilder f("f");
+  f.MovRegImm32(disasm::kRax, 3);
+  f.Syscall();
+  f.CallLocal(1);  // g is function index 1
+  f.Ret();
+  builder.AddFunction(f.Finish(false));
+  FunctionBuilder g("g");
+  g.CallLocal(0);
+  g.Ret();
+  builder.AddFunction(g.Finish(false));
+  FunctionBuilder start("_start");
+  start.CallLocal(0);
+  start.Ret();
+  uint32_t start_idx = builder.AddFunction(start.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(start_idx).ok());
+  BinaryAnalysis analysis = Analyze(Parse(builder.Build()));
+  EXPECT_EQ(analysis.FromEntry().footprint.syscalls, (std::set<int>{3}));
+}
+
+TEST(BinaryAnalyzer, Int80Counted) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  FunctionBuilder fn("_start");
+  fn.MovRegImm32(disasm::kRax, 4);
+  fn.Int80();
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  BinaryAnalysis analysis = Analyze(Parse(builder.Build()));
+  auto fp = analysis.FromEntry().footprint;
+  EXPECT_EQ(fp.int80_sites, 1);
+  EXPECT_TRUE(fp.syscalls.empty());  // i386 numbers are not merged
+  // ...but recorded separately with i386 numbering (4 = write).
+  EXPECT_EQ(fp.int80_syscalls, (std::set<int>{4}));
+}
+
+TEST(BinaryAnalyzer, IndirectCallsCounted) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  FunctionBuilder fn("_start");
+  fn.Nop();
+  // call rax (ff d0), emitted raw.
+  elf::FunctionDef def = fn.Finish(false);
+  def.body.push_back(0xff);
+  def.body.push_back(0xd0);
+  def.body.push_back(0xc3);
+  uint32_t idx = builder.AddFunction(std::move(def));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  BinaryAnalysis analysis = Analyze(Parse(builder.Build()));
+  EXPECT_EQ(analysis.FromEntry().footprint.indirect_call_sites, 1);
+}
+
+TEST(BinaryAnalyzer, OptionsDisableOpcodeRecovery) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  builder.AddNeeded("libc.so.6");
+  uint32_t ioctl_imp = builder.AddImport("ioctl");
+  FunctionBuilder fn("_start");
+  fn.MovRegImm32(disasm::kRsi, 0x5401);
+  fn.CallImport(ioctl_imp);
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  auto image = Parse(builder.Build());
+
+  BinaryAnalyzer::Options options;
+  options.resolve_wrapper_opcodes = false;
+  auto analysis = BinaryAnalyzer::Analyze(image, options);
+  ASSERT_TRUE(analysis.ok());
+  auto fp = analysis.value().FromEntry().footprint;
+  EXPECT_TRUE(fp.ioctl_ops.empty());
+  EXPECT_EQ(fp.unknown_opcode_sites, 0);  // not even counted
+}
+
+TEST(BinaryAnalyzer, OptionsDisablePathCollection) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  builder.AddNeeded("libc.so.6");
+  uint32_t open_imp = builder.AddImport("open");
+  uint32_t path = builder.AddRodataString("/dev/null");
+  FunctionBuilder fn("_start");
+  fn.LeaRodata(disasm::kRdi, path);
+  fn.CallImport(open_imp);
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  auto image = Parse(builder.Build());
+
+  BinaryAnalyzer::Options options;
+  options.collect_pseudo_paths = false;
+  auto analysis = BinaryAnalyzer::Analyze(image, options);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_TRUE(analysis.value().FromEntry().footprint.pseudo_paths.empty());
+}
+
+TEST(BinaryAnalyzer, TailCallThroughPltIsAnImport) {
+  // jmp <plt> (a tail call) must record the import like a call would.
+  ElfBuilder builder(BinaryType::kExecutable);
+  builder.AddNeeded("libc.so.6");
+  uint32_t imp = builder.AddImport("getpid");
+  FunctionBuilder fn("_start");
+  elf::FunctionDef def = fn.Finish(false);
+  def.body = {0xe9, 0, 0, 0, 0};  // jmp rel32
+  def.relocs.push_back(
+      elf::TextReloc{elf::TextReloc::Kind::kPltCall, 1, imp});
+  uint32_t idx = builder.AddFunction(std::move(def));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  auto image = Parse(builder.Build());
+  BinaryAnalysis analysis = Analyze(image);
+  EXPECT_EQ(analysis.FromEntry().plt_calls,
+            (std::set<std::string>{"getpid"}));
+}
+
+TEST(BinaryAnalyzer, C7FormMovFeedsSyscallNumber) {
+  // mov eax, imm32 via c7 /0 (compilers emit both forms).
+  ElfBuilder builder(BinaryType::kExecutable);
+  elf::FunctionDef def;
+  def.name = "_start";
+  def.body = {0xc7, 0xc0, 0x27, 0x00, 0x00, 0x00,  // mov eax, 39
+              0x0f, 0x05,                          // syscall
+              0xc3};
+  uint32_t idx = builder.AddFunction(std::move(def));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  auto image = Parse(builder.Build());
+  BinaryAnalysis analysis = Analyze(image);
+  EXPECT_EQ(analysis.FromEntry().footprint.syscalls, (std::set<int>{39}));
+}
+
+TEST(BinaryAnalyzer, UndecodableFunctionMarkedIncomplete) {
+  ElfBuilder builder(BinaryType::kExecutable);
+  elf::FunctionDef def;
+  def.name = "_start";
+  def.body = {0x90, 0x06, 0x90};  // nop, invalid-in-64-bit, nop
+  uint32_t idx = builder.AddFunction(std::move(def));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  auto image = Parse(builder.Build());
+  BinaryAnalysis analysis = Analyze(image);
+  const FunctionInfo* fn = analysis.FunctionNamed("_start");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_FALSE(fn->decode_complete);
+}
+
+TEST(BinaryAnalyzer, StateResetAfterUnconditionalJump) {
+  // mov rsi, imm; jmp over; ...; target: call ioctl -- after the jmp the
+  // tracker must not assume rsi still holds the constant (the code at the
+  // target may be reached from elsewhere).
+  ElfBuilder builder(BinaryType::kExecutable);
+  builder.AddNeeded("libc.so.6");
+  uint32_t ioctl_imp = builder.AddImport("ioctl");
+  FunctionBuilder fn("_start");
+  fn.MovRegImm32(disasm::kRsi, 0x5401);
+  elf::FunctionDef def = fn.Finish(false);
+  def.body.push_back(0xeb);  // jmp +0 (next insn)
+  def.body.push_back(0x00);
+  // call ioctl@plt
+  def.body.push_back(0xe8);
+  def.relocs.push_back(elf::TextReloc{
+      elf::TextReloc::Kind::kPltCall,
+      static_cast<uint32_t>(def.body.size()), ioctl_imp});
+  for (int i = 0; i < 4; ++i) {
+    def.body.push_back(0);
+  }
+  def.body.push_back(0xc3);
+  uint32_t idx = builder.AddFunction(std::move(def));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  auto image = Parse(builder.Build());
+  BinaryAnalysis analysis = Analyze(image);
+  auto fp = analysis.FromEntry().footprint;
+  EXPECT_TRUE(fp.ioctl_ops.empty());
+  EXPECT_EQ(fp.unknown_opcode_sites, 1);
+}
+
+// ---------------- Library resolution ----------------
+
+// Builds a mini libc exporting read/write wrappers plus a "stdio" function
+// that locally calls the write wrapper.
+std::shared_ptr<const BinaryAnalysis> MiniLibc() {
+  ElfBuilder builder(BinaryType::kSharedLibrary);
+  builder.SetSoname("libmini.so");
+  FunctionBuilder read_fn("read");
+  read_fn.MovRegImm32(disasm::kRax, 0);
+  read_fn.Syscall();
+  read_fn.Ret();
+  uint32_t read_idx = builder.AddFunction(read_fn.Finish(true));
+  (void)read_idx;
+  FunctionBuilder write_fn("write");
+  write_fn.MovRegImm32(disasm::kRax, 1);
+  write_fn.Syscall();
+  write_fn.Ret();
+  uint32_t write_idx = builder.AddFunction(write_fn.Finish(true));
+  FunctionBuilder printf_fn("printf");
+  printf_fn.EmitPrologue();
+  printf_fn.CallLocal(write_idx);
+  printf_fn.EmitEpilogue();
+  builder.AddFunction(printf_fn.Finish(true));
+  auto image = elf::ElfReader::Parse(builder.Build().value());
+  EXPECT_TRUE(image.ok());
+  auto analysis = BinaryAnalyzer::Analyze(image.value());
+  EXPECT_TRUE(analysis.ok());
+  return std::make_shared<BinaryAnalysis>(analysis.take());
+}
+
+// A second library whose export calls into libmini.
+std::shared_ptr<const BinaryAnalysis> MiniUtilLib() {
+  ElfBuilder builder(BinaryType::kSharedLibrary);
+  builder.SetSoname("libutil.so");
+  builder.AddNeeded("libmini.so");
+  uint32_t printf_imp = builder.AddImport("printf");
+  FunctionBuilder fn("util_log");
+  fn.EmitPrologue();
+  fn.CallImport(printf_imp);
+  fn.MovRegImm32(disasm::kRax, 201);  // time
+  fn.Syscall();
+  fn.EmitEpilogue();
+  builder.AddFunction(fn.Finish(true));
+  auto image = elf::ElfReader::Parse(builder.Build().value());
+  EXPECT_TRUE(image.ok());
+  auto analysis = BinaryAnalyzer::Analyze(image.value());
+  EXPECT_TRUE(analysis.ok());
+  return std::make_shared<BinaryAnalysis>(analysis.take());
+}
+
+TEST(LibraryResolver, PerExportFootprints) {
+  auto libc = MiniLibc();
+  auto exports = libc->PerExportReachable();
+  ASSERT_EQ(exports.size(), 3u);
+  EXPECT_EQ(exports.at("read").footprint.syscalls, (std::set<int>{0}));
+  EXPECT_EQ(exports.at("printf").footprint.syscalls, (std::set<int>{1}));
+}
+
+TEST(LibraryResolver, ResolvesTwoHopImportChain) {
+  LibraryResolver resolver;
+  ASSERT_TRUE(resolver.AddLibrary(MiniLibc()).ok());
+  ASSERT_TRUE(resolver.AddLibrary(MiniUtilLib()).ok());
+
+  ElfBuilder builder(BinaryType::kExecutable);
+  builder.AddNeeded("libutil.so");
+  uint32_t imp = builder.AddImport("util_log");
+  FunctionBuilder fn("_start");
+  fn.CallImport(imp);
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  auto image = elf::ElfReader::Parse(builder.Build().value());
+  ASSERT_TRUE(image.ok());
+  auto exe = BinaryAnalyzer::Analyze(image.value());
+  ASSERT_TRUE(exe.ok());
+
+  auto resolution = resolver.ResolveExecutable(exe.value());
+  // util_log -> time(201); printf -> write(1). read is never pulled in.
+  EXPECT_EQ(resolution.footprint.syscalls, (std::set<int>{1, 201}));
+  EXPECT_EQ(resolution.used_exports.at("libutil.so"),
+            (std::set<std::string>{"util_log"}));
+  EXPECT_EQ(resolution.used_exports.at("libmini.so"),
+            (std::set<std::string>{"printf"}));
+  EXPECT_TRUE(resolution.unresolved_imports.empty());
+}
+
+TEST(LibraryResolver, UnresolvedImportsReported) {
+  LibraryResolver resolver;
+  ASSERT_TRUE(resolver.AddLibrary(MiniLibc()).ok());
+  auto resolution = resolver.ResolveFromSymbols({"printf", "nonexistent"});
+  EXPECT_EQ(resolution.footprint.syscalls, (std::set<int>{1}));
+  EXPECT_EQ(resolution.unresolved_imports,
+            (std::set<std::string>{"nonexistent"}));
+}
+
+TEST(LibraryResolver, WholeLibraryClosure) {
+  LibraryResolver resolver;
+  ASSERT_TRUE(resolver.AddLibrary(MiniLibc()).ok());
+  auto resolution = resolver.ResolveWholeLibrary("libmini.so");
+  ASSERT_TRUE(resolution.ok());
+  EXPECT_EQ(resolution.value().footprint.syscalls, (std::set<int>{0, 1}));
+  EXPECT_FALSE(resolver.ResolveWholeLibrary("libmissing.so").ok());
+}
+
+TEST(LibraryResolver, RejectsDuplicateAndAnonymous) {
+  LibraryResolver resolver;
+  ASSERT_TRUE(resolver.AddLibrary(MiniLibc()).ok());
+  EXPECT_EQ(resolver.AddLibrary(MiniLibc()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(resolver.AddLibrary(nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LibraryResolver, ExporterLookup) {
+  LibraryResolver resolver;
+  ASSERT_TRUE(resolver.AddLibrary(MiniLibc()).ok());
+  EXPECT_EQ(resolver.ExporterOf("printf"), "libmini.so");
+  EXPECT_EQ(resolver.ExporterOf("nope"), "");
+}
+
+TEST(Footprint, MergeAndCounts) {
+  Footprint a;
+  a.syscalls = {1, 2};
+  a.ioctl_ops = {0x5401};
+  a.unknown_syscall_sites = 1;
+  Footprint b;
+  b.syscalls = {2, 3};
+  b.pseudo_paths = {"/dev/null"};
+  b.unknown_syscall_sites = 2;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.syscalls, (std::set<int>{1, 2, 3}));
+  EXPECT_EQ(a.unknown_syscall_sites, 3);
+  EXPECT_EQ(a.ApiCount(), 5u);
+  EXPECT_FALSE(a.Empty());
+  EXPECT_TRUE(Footprint().Empty());
+}
+
+}  // namespace
+}  // namespace lapis::analysis

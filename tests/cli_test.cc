@@ -1,0 +1,107 @@
+// End-to-end tests of the lapis_study CLI driver: spawn the real binary,
+// exercise generate/save/load/eval/export, and check outputs.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace lapis {
+namespace {
+
+// Path to the tool binary, injected by CMake.
+#ifndef LAPIS_STUDY_BINARY
+#define LAPIS_STUDY_BINARY "tools/lapis_study"
+#endif
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult RunTool(const std::string& args) {
+  std::string command = std::string(LAPIS_STUDY_BINARY) + " " + args + " 2>&1";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  CommandResult result;
+  if (pipe == nullptr) {
+    return result;
+  }
+  std::array<char, 4096> buffer;
+  size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string SmallFlags() {
+  return "--apps=320 --installs=3000";
+}
+
+TEST(Cli, HelpExitsCleanly) {
+  auto result = RunTool("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--apps"), std::string::npos);
+  EXPECT_NE(result.output.find("--export-dir"), std::string::npos);
+}
+
+TEST(Cli, UnknownFlagFails) {
+  auto result = RunTool("--bogus=1");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown flag"), std::string::npos);
+}
+
+TEST(Cli, GenerateSaveLoadEvalRoundTrip) {
+  std::string artifact = testing::TempDir() + "/cli_study.bin";
+  auto generate = RunTool(SmallFlags() + " --save=" + artifact);
+  ASSERT_EQ(generate.exit_code, 0) << generate.output;
+  EXPECT_NE(generate.output.find("ground-truth mismatches: 0"),
+            std::string::npos);
+  EXPECT_NE(generate.output.find("224 of 320 syscalls"), std::string::npos);
+
+  auto top = RunTool("--load=" + artifact + " --top=5");
+  ASSERT_EQ(top.exit_code, 0) << top.output;
+  EXPECT_NE(top.output.find("read"), std::string::npos);
+
+  auto eval = RunTool("--load=" + artifact + " --eval=read,write,open,close");
+  ASSERT_EQ(eval.exit_code, 0) << eval.output;
+  EXPECT_NE(eval.output.find("weighted completeness"), std::string::npos);
+  EXPECT_NE(eval.output.find("suggested additions"), std::string::npos);
+
+  auto bad_eval = RunTool("--load=" + artifact + " --eval=read,not_a_syscall");
+  EXPECT_EQ(bad_eval.exit_code, 1);
+
+  std::remove(artifact.c_str());
+}
+
+TEST(Cli, ExportWritesTsvs) {
+  std::string dir = testing::TempDir();
+  auto result = RunTool(SmallFlags() + " --export-dir=" + dir);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  std::ifstream importance(dir + "/api_importance.tsv");
+  ASSERT_TRUE(importance.good());
+  std::string header;
+  std::getline(importance, header);
+  EXPECT_EQ(header, "kind\tapi\timportance\tunweighted_importance\tdependents");
+  std::ifstream packages(dir + "/packages.tsv");
+  EXPECT_TRUE(packages.good());
+  std::ifstream footprints(dir + "/footprints.tsv");
+  EXPECT_TRUE(footprints.good());
+  for (const char* file :
+       {"/api_importance.tsv", "/packages.tsv", "/footprints.tsv"}) {
+    std::remove((dir + file).c_str());
+  }
+}
+
+TEST(Cli, LoadMissingArtifactFails) {
+  auto result = RunTool("--load=/nonexistent/artifact.bin");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("load failed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lapis

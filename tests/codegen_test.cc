@@ -1,0 +1,187 @@
+// FunctionBuilder emission tests: every emitted byte sequence must decode
+// back through the disassembler with the intended semantics (the encoder and
+// decoder are developed against each other; this is the contract).
+
+#include <gtest/gtest.h>
+
+#include "src/codegen/function_builder.h"
+#include "src/disasm/decoder.h"
+
+namespace lapis::codegen {
+namespace {
+
+using disasm::Insn;
+using disasm::InsnKind;
+using disasm::LinearSweep;
+
+std::vector<Insn> DecodeBody(const elf::FunctionDef& def) {
+  auto sweep = LinearSweep(def.body, 0x1000);
+  EXPECT_TRUE(sweep.complete);
+  return sweep.insns;
+}
+
+TEST(FunctionBuilder, PrologueEpilogue) {
+  FunctionBuilder fn("f");
+  fn.EmitPrologue();
+  fn.EmitEpilogue();
+  auto insns = DecodeBody(fn.Finish(false));
+  ASSERT_EQ(insns.size(), 4u);
+  EXPECT_EQ(insns[1].kind, InsnKind::kMovRegReg);  // mov rbp, rsp
+  EXPECT_EQ(insns[1].reg, disasm::kRbp);
+  EXPECT_EQ(insns[1].reg2, disasm::kRsp);
+  EXPECT_EQ(insns[3].kind, InsnKind::kRet);
+}
+
+TEST(FunctionBuilder, MovRegImm32AllRegisters) {
+  for (uint8_t reg = 0; reg < 16; ++reg) {
+    FunctionBuilder fn("f");
+    fn.MovRegImm32(reg, 0x1234);
+    auto insns = DecodeBody(fn.Finish(false));
+    ASSERT_EQ(insns.size(), 1u) << static_cast<int>(reg);
+    EXPECT_EQ(insns[0].kind, InsnKind::kMovRegImm);
+    EXPECT_EQ(insns[0].reg, reg);
+    EXPECT_EQ(insns[0].imm, 0x1234);
+  }
+}
+
+TEST(FunctionBuilder, XorRegRegAllRegisters) {
+  for (uint8_t reg = 0; reg < 16; ++reg) {
+    FunctionBuilder fn("f");
+    fn.XorRegReg(reg);
+    auto insns = DecodeBody(fn.Finish(false));
+    ASSERT_EQ(insns.size(), 1u);
+    EXPECT_EQ(insns[0].kind, InsnKind::kXorRegReg);
+    EXPECT_EQ(insns[0].reg, reg);
+  }
+}
+
+TEST(FunctionBuilder, MovRegRegPairs) {
+  struct Case {
+    uint8_t dst, src;
+  } cases[] = {{disasm::kRbp, disasm::kRsp},
+               {disasm::kRdi, disasm::kRax},
+               {disasm::kR8, disasm::kRdi},
+               {disasm::kRax, disasm::kR9},
+               {disasm::kR10, disasm::kR11}};
+  for (const auto& c : cases) {
+    FunctionBuilder fn("f");
+    fn.MovRegReg(c.dst, c.src);
+    auto insns = DecodeBody(fn.Finish(false));
+    ASSERT_EQ(insns.size(), 1u);
+    EXPECT_EQ(insns[0].kind, InsnKind::kMovRegReg);
+    EXPECT_EQ(insns[0].reg, c.dst);
+    EXPECT_EQ(insns[0].reg2, c.src);
+  }
+}
+
+TEST(FunctionBuilder, SyscallForms) {
+  FunctionBuilder fn("f");
+  fn.Syscall();
+  fn.Int80();
+  fn.Sysenter();
+  auto insns = DecodeBody(fn.Finish(false));
+  ASSERT_EQ(insns.size(), 3u);
+  EXPECT_EQ(insns[0].kind, InsnKind::kSyscall);
+  EXPECT_EQ(insns[1].kind, InsnKind::kInt);
+  EXPECT_EQ(insns[2].kind, InsnKind::kSysenter);
+}
+
+TEST(FunctionBuilder, CallImportRecordsReloc) {
+  FunctionBuilder fn("f");
+  fn.CallImport(3);
+  elf::FunctionDef def = fn.Finish(false);
+  ASSERT_EQ(def.relocs.size(), 1u);
+  EXPECT_EQ(def.relocs[0].kind, elf::TextReloc::Kind::kPltCall);
+  EXPECT_EQ(def.relocs[0].target, 3u);
+  EXPECT_EQ(def.relocs[0].offset, 1u);  // after the e8 opcode byte
+  EXPECT_EQ(def.body[0], 0xe8);
+}
+
+TEST(FunctionBuilder, CallLocalRecordsReloc) {
+  FunctionBuilder fn("f");
+  fn.CallLocal(7);
+  elf::FunctionDef def = fn.Finish(false);
+  ASSERT_EQ(def.relocs.size(), 1u);
+  EXPECT_EQ(def.relocs[0].kind, elf::TextReloc::Kind::kLocalCall);
+  EXPECT_EQ(def.relocs[0].target, 7u);
+}
+
+TEST(FunctionBuilder, LeaRodataRecordsRelocAndDecodes) {
+  FunctionBuilder fn("f");
+  fn.LeaRodata(disasm::kRdi, 0x40);
+  elf::FunctionDef def = fn.Finish(false);
+  ASSERT_EQ(def.relocs.size(), 1u);
+  EXPECT_EQ(def.relocs[0].kind, elf::TextReloc::Kind::kRodataRef);
+  EXPECT_EQ(def.relocs[0].target, 0x40u);
+  auto insns = DecodeBody(def);
+  ASSERT_EQ(insns.size(), 1u);
+  EXPECT_EQ(insns[0].kind, InsnKind::kLeaRipRel);
+  EXPECT_EQ(insns[0].reg, disasm::kRdi);
+}
+
+TEST(FunctionBuilder, LeaRodataExtendedRegister) {
+  FunctionBuilder fn("f");
+  fn.LeaRodata(disasm::kR9, 0);
+  auto insns = DecodeBody(fn.Finish(false));
+  ASSERT_EQ(insns.size(), 1u);
+  EXPECT_EQ(insns[0].kind, InsnKind::kLeaRipRel);
+  EXPECT_EQ(insns[0].reg, disasm::kR9);
+}
+
+TEST(FunctionBuilder, StackAdjustments) {
+  FunctionBuilder fn("f");
+  fn.SubRspImm8(0x20);
+  fn.AddRspImm8(0x20);
+  auto insns = DecodeBody(fn.Finish(false));
+  ASSERT_EQ(insns.size(), 2u);
+  EXPECT_EQ(insns[0].length, 4);
+  EXPECT_EQ(insns[1].length, 4);
+}
+
+TEST(FunctionBuilder, PushPopExtended) {
+  FunctionBuilder fn("f");
+  fn.PushReg(disasm::kR12);
+  fn.PopReg(disasm::kR12);
+  fn.PushReg(disasm::kRbx);
+  fn.PopReg(disasm::kRbx);
+  auto insns = DecodeBody(fn.Finish(false));
+  EXPECT_EQ(insns.size(), 4u);
+}
+
+TEST(FunctionBuilder, ObfuscatedLoadDefeatsConstantTracking) {
+  FunctionBuilder fn("f");
+  fn.MovRegImm32Obfuscated(disasm::kRax, 100);
+  auto insns = DecodeBody(fn.Finish(false));
+  // mov eax, 99; add eax, 1 -- the add decodes as kOther.
+  ASSERT_EQ(insns.size(), 2u);
+  EXPECT_EQ(insns[0].kind, InsnKind::kMovRegImm);
+  EXPECT_EQ(insns[0].imm, 99);
+  EXPECT_EQ(insns[1].kind, InsnKind::kOther);
+}
+
+TEST(FunctionBuilder, FinishMovesStateOut) {
+  FunctionBuilder fn("my_function");
+  fn.Nop(5);
+  elf::FunctionDef def = fn.Finish(/*exported=*/true);
+  EXPECT_EQ(def.name, "my_function");
+  EXPECT_EQ(def.body.size(), 5u);
+  EXPECT_TRUE(def.exported);
+}
+
+TEST(FunctionBuilder, RealisticWrapperRoundTrip) {
+  // The libc wrapper pattern: mov eax, nr; syscall; ret; nop padding.
+  FunctionBuilder fn("openat");
+  fn.MovRegImm32(disasm::kRax, 257);
+  fn.Syscall();
+  fn.Ret();
+  while (fn.size() < 32) {
+    fn.Nop();
+  }
+  auto insns = DecodeBody(fn.Finish(true));
+  ASSERT_GE(insns.size(), 3u);
+  EXPECT_EQ(insns[0].imm, 257);
+  EXPECT_EQ(insns[1].kind, InsnKind::kSyscall);
+}
+
+}  // namespace
+}  // namespace lapis::codegen

@@ -1,0 +1,265 @@
+// Calibration-table sanity: syscall table correctness, universe sizes, and
+// the paper's anchor structures.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/corpus/api_universe.h"
+#include "src/corpus/syscall_table.h"
+
+namespace lapis::corpus {
+namespace {
+
+TEST(SyscallTable, WellKnownNumbers) {
+  EXPECT_EQ(SyscallName(0), "read");
+  EXPECT_EQ(SyscallName(1), "write");
+  EXPECT_EQ(SyscallName(2), "open");
+  EXPECT_EQ(SyscallName(9), "mmap");
+  EXPECT_EQ(SyscallName(16), "ioctl");
+  EXPECT_EQ(SyscallName(57), "fork");
+  EXPECT_EQ(SyscallName(59), "execve");
+  EXPECT_EQ(SyscallName(72), "fcntl");
+  EXPECT_EQ(SyscallName(157), "prctl");
+  EXPECT_EQ(SyscallName(202), "futex");
+  EXPECT_EQ(SyscallName(231), "exit_group");
+  EXPECT_EQ(SyscallName(269), "faccessat");
+  EXPECT_EQ(SyscallName(317), "seccomp");
+  EXPECT_EQ(SyscallName(319), "memfd_create");
+  EXPECT_EQ(SyscallName(-1), "");
+  EXPECT_EQ(SyscallName(320), "");
+}
+
+TEST(SyscallTable, NumbersRoundTrip) {
+  for (int nr = 0; nr < kSyscallCount; ++nr) {
+    auto back = SyscallNumber(SyscallName(nr));
+    ASSERT_TRUE(back.has_value()) << nr;
+    EXPECT_EQ(*back, nr);
+  }
+  EXPECT_FALSE(SyscallNumber("not_a_syscall").has_value());
+}
+
+TEST(SyscallTable, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (int nr = 0; nr < kSyscallCount; ++nr) {
+    EXPECT_TRUE(names.insert(SyscallName(nr)).second) << SyscallName(nr);
+  }
+}
+
+TEST(SyscallTable, StartupSetHasExactly40) {
+  EXPECT_EQ(StartupSyscalls().size(), 40u);
+  std::set<int> unique(StartupSyscalls().begin(), StartupSyscalls().end());
+  EXPECT_EQ(unique.size(), 40u);
+}
+
+TEST(SyscallTable, AttributionsCoverStartupSetExactly) {
+  std::set<int> attributed;
+  for (const auto& attribution : StartupAttributions()) {
+    EXPECT_FALSE(attribution.libs.empty());
+    attributed.insert(attribution.syscall_nr);
+  }
+  std::set<int> startup(StartupSyscalls().begin(), StartupSyscalls().end());
+  EXPECT_EQ(attributed, startup);
+}
+
+TEST(SyscallTable, UnusedSetMatchesTable3) {
+  const auto& unused = UnusedSyscalls();
+  EXPECT_EQ(unused.size(), 18u);
+  std::set<int> set(unused.begin(), unused.end());
+  EXPECT_EQ(set.size(), 18u);
+  EXPECT_TRUE(set.count(*SyscallNumber("remap_file_pages")));
+  EXPECT_TRUE(set.count(*SyscallNumber("mq_notify")));
+  EXPECT_TRUE(set.count(*SyscallNumber("lookup_dcookie")));
+  EXPECT_TRUE(set.count(*SyscallNumber("restart_syscall")));
+  EXPECT_TRUE(set.count(*SyscallNumber("move_pages")));
+  EXPECT_TRUE(set.count(*SyscallNumber("sysfs")));
+  // And no startup syscall is in it.
+  for (int nr : StartupSyscalls()) {
+    EXPECT_FALSE(set.count(nr)) << SyscallName(nr);
+  }
+}
+
+TEST(SyscallTable, RetiredFiveAreValid) {
+  EXPECT_EQ(RetiredButAttemptedSyscalls().size(), 5u);
+  for (int nr : RetiredButAttemptedSyscalls()) {
+    EXPECT_GE(nr, 0);
+    EXPECT_LT(nr, kSyscallCount);
+  }
+}
+
+TEST(SyscallTable, AnchorsResolveAndAreFractions) {
+  for (const auto& anchor : UnweightedAnchors()) {
+    EXPECT_GE(anchor.syscall_nr, 0) << "unresolved anchor name";
+    EXPECT_GT(anchor.unweighted_importance, 0.0);
+    EXPECT_LE(anchor.unweighted_importance, 1.0);
+  }
+}
+
+TEST(SyscallTable, VariantPairsResolve) {
+  EXPECT_GE(VariantPairs().size(), 30u);
+  for (const auto& pair : VariantPairs()) {
+    EXPECT_GE(pair.left_nr, 0) << pair.left_label;
+    EXPECT_GE(pair.right_nr, 0) << pair.right_label;
+    EXPECT_NE(pair.left_nr, pair.right_nr);
+  }
+}
+
+TEST(SyscallTable, TailPlansResolve) {
+  for (const auto& plan : TailSyscallPlans()) {
+    EXPECT_GE(plan.syscall_nr, 0);
+    EXPECT_FALSE(plan.packages.empty());
+    EXPECT_GT(plan.weighted_importance, 0.0);
+    EXPECT_LE(plan.weighted_importance, 0.5);
+  }
+}
+
+TEST(SyscallTable, PinnedRanksValid) {
+  std::set<int> ranks;
+  for (const auto& pin : PinnedRanks()) {
+    EXPECT_GE(pin.syscall_nr, 0);
+    EXPECT_GT(pin.rank, 40);
+    EXPECT_LE(pin.rank, 224);
+    EXPECT_TRUE(ranks.insert(pin.rank).second) << "duplicate rank";
+  }
+}
+
+// ---------------- API universes ----------------
+
+TEST(ApiUniverse, IoctlUniverseShape) {
+  const auto& ops = IoctlOps();
+  ASSERT_EQ(ops.size(), kIoctlOpCount);
+  std::set<uint32_t> codes;
+  size_t at_100 = 0;
+  size_t nonzero = 0;
+  for (const auto& op : ops) {
+    EXPECT_TRUE(codes.insert(op.code).second) << op.name;
+    if (op.importance_target >= 1.0) {
+      ++at_100;
+    }
+    if (op.importance_target > 0.0) {
+      ++nonzero;
+    }
+  }
+  EXPECT_EQ(at_100, kIoctlTop100);
+  EXPECT_EQ(nonzero, kIoctlUsed);
+  // Targets are non-increasing along the ranking.
+  for (size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_LE(ops[i].importance_target, ops[i - 1].importance_target + 1e-9);
+  }
+  EXPECT_EQ(ops[0].name, "TCGETS");
+  EXPECT_EQ(ops[0].code, 0x5401u);
+}
+
+TEST(ApiUniverse, FcntlUniverseShape) {
+  const auto& ops = FcntlOps();
+  ASSERT_EQ(ops.size(), kFcntlOpCount);
+  size_t at_100 = 0;
+  for (const auto& op : ops) {
+    if (op.importance_target >= 1.0) {
+      ++at_100;
+    }
+  }
+  EXPECT_EQ(at_100, kFcntlTop100);
+}
+
+TEST(ApiUniverse, PrctlUniverseShape) {
+  const auto& ops = PrctlOps();
+  ASSERT_EQ(ops.size(), kPrctlOpCount);
+  size_t at_100 = 0;
+  size_t above_20 = 0;
+  for (const auto& op : ops) {
+    if (op.importance_target >= 1.0) {
+      ++at_100;
+    }
+    if (op.importance_target > 0.20) {
+      ++above_20;
+    }
+  }
+  EXPECT_EQ(at_100, kPrctlTop100);
+  EXPECT_EQ(above_20, kPrctlAbove20Pct);
+}
+
+TEST(ApiUniverse, PseudoFilesValid) {
+  const auto& files = PseudoFiles();
+  EXPECT_GE(files.size(), 45u);
+  std::set<std::string> paths;
+  for (const auto& file : files) {
+    EXPECT_TRUE(paths.insert(file.path).second) << file.path;
+    EXPECT_TRUE(file.path[0] == '/');
+    EXPECT_GE(file.importance_target, 0.0);
+    EXPECT_LE(file.importance_target, 1.0);
+    EXPECT_GT(file.binary_fraction, 0.0);
+  }
+  EXPECT_TRUE(paths.count("/dev/null"));
+  EXPECT_TRUE(paths.count("/proc/cpuinfo"));
+  EXPECT_TRUE(paths.count("/dev/kvm"));
+}
+
+TEST(ApiUniverse, LibcUniverseExactly1274) {
+  const auto& universe = LibcUniverse();
+  ASSERT_EQ(universe.size(), kLibcSymbolCount);
+  std::set<std::string> names;
+  for (const auto& spec : universe) {
+    EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+    EXPECT_GT(spec.code_size, 0u);
+  }
+}
+
+TEST(ApiUniverse, LibcBandStructure) {
+  auto counts = CountLibcBands();
+  EXPECT_EQ(counts.universal + counts.common + counts.mid + counts.tail +
+                counts.unused,
+            kLibcSymbolCount);
+  // §6: 222 libc functions are never used.
+  EXPECT_EQ(counts.unused, 222u);
+  EXPECT_GT(counts.common, 200u);
+  EXPECT_GT(counts.universal, 20u);
+}
+
+TEST(ApiUniverse, LibcWrappersCoverUsedSyscalls) {
+  std::set<int> unused(UnusedSyscalls().begin(), UnusedSyscalls().end());
+  std::set<int> wrapped;
+  for (const auto& spec : LibcUniverse()) {
+    if (spec.wraps_syscall >= 0) {
+      wrapped.insert(spec.wraps_syscall);
+      EXPECT_EQ(spec.name, SyscallName(spec.wraps_syscall));
+    }
+  }
+  for (int nr = 0; nr < kSyscallCount; ++nr) {
+    if (unused.count(nr) == 0) {
+      EXPECT_TRUE(wrapped.count(nr)) << SyscallName(nr);
+    } else {
+      EXPECT_FALSE(wrapped.count(nr)) << SyscallName(nr);
+    }
+  }
+}
+
+TEST(ApiUniverse, ChkVariantsHaveBases) {
+  const auto& universe = LibcUniverse();
+  std::set<std::string> names;
+  for (const auto& spec : universe) {
+    names.insert(spec.name);
+  }
+  size_t chk_count = 0;
+  for (const auto& spec : universe) {
+    if (!spec.chk_base.empty()) {
+      ++chk_count;
+      EXPECT_TRUE(names.count(spec.chk_base)) << spec.chk_base;
+      EXPECT_TRUE(spec.name.find("_chk") != std::string::npos);
+    }
+  }
+  EXPECT_GE(chk_count, 20u);
+}
+
+TEST(ApiUniverse, GnuExtensionsExist) {
+  size_t ext = 0;
+  for (const auto& spec : LibcUniverse()) {
+    if (spec.gnu_extension) {
+      ++ext;
+    }
+  }
+  EXPECT_GE(ext, 30u);
+}
+
+}  // namespace
+}  // namespace lapis::corpus

@@ -1,0 +1,130 @@
+// DbPipeline tests: the database-backed aggregation must agree exactly with
+// the in-memory LibraryResolver on real corpus binaries.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/analysis/binary_analyzer.h"
+#include "src/analysis/db_pipeline.h"
+#include "src/analysis/library_resolver.h"
+#include "src/corpus/binary_synth.h"
+#include "src/corpus/distro_spec.h"
+#include "src/elf/elf_reader.h"
+
+namespace lapis::analysis {
+namespace {
+
+struct PipelinePair {
+  corpus::DistroSpec spec;
+  LibraryResolver resolver;
+  DbPipeline db_pipeline;
+  std::unique_ptr<corpus::DistroSynthesizer> synthesizer;
+
+  PipelinePair() {
+    corpus::DistroOptions options;
+    options.app_package_count = 400;
+    options.script_package_count = 40;
+    options.data_package_count = 10;
+    spec = corpus::BuildDistroSpec(options).take();
+    synthesizer = std::make_unique<corpus::DistroSynthesizer>(spec);
+    auto core_libs = synthesizer->CoreLibraries().take();
+    for (auto& binary : core_libs) {
+      Load(binary.name, binary.bytes, /*is_library=*/true);
+    }
+  }
+
+  void Load(const std::string& name, const std::vector<uint8_t>& bytes,
+            bool is_library) {
+    auto image = elf::ElfReader::Parse(bytes).take();
+    auto analysis = BinaryAnalyzer::Analyze(image);
+    ASSERT_TRUE(analysis.ok());
+    auto shared = std::make_shared<BinaryAnalysis>(analysis.take());
+    if (is_library) {
+      ASSERT_TRUE(resolver.AddLibrary(shared).ok());
+    }
+    ASSERT_TRUE(db_pipeline.AddBinary(name, *shared).ok());
+    if (!is_library) {
+      resolved.emplace(name, resolver.ResolveExecutable(*shared).footprint);
+    }
+  }
+
+  std::map<std::string, Footprint> resolved;
+};
+
+PipelinePair& Fixture() {
+  static PipelinePair* fixture = new PipelinePair();
+  return *fixture;
+}
+
+TEST(DbPipeline, AgreesWithResolverOnCorpusPackages) {
+  auto& fixture = Fixture();
+  size_t checked = 0;
+  for (const char* package :
+       {"coreutils", "qemu-user", "libnuma", "app-0003", "app-0123",
+        "app-0307", "kexec-tools", "python-core"}) {
+    auto it = fixture.spec.by_name.find(package);
+    ASSERT_NE(it, fixture.spec.by_name.end()) << package;
+    auto binaries = fixture.synthesizer->PackageBinaries(it->second).take();
+    for (auto& binary : binaries) {
+      fixture.Load(binary.name, binary.bytes, binary.is_library);
+    }
+    for (auto& binary : binaries) {
+      if (binary.is_library) {
+        continue;
+      }
+      auto db_fp = fixture.db_pipeline.ExecutableFootprint(binary.name);
+      ASSERT_TRUE(db_fp.ok()) << binary.name;
+      const Footprint& resolver_fp = fixture.resolved.at(binary.name);
+      EXPECT_EQ(db_fp.value().syscalls, resolver_fp.syscalls) << binary.name;
+      EXPECT_EQ(db_fp.value().ioctl_ops, resolver_fp.ioctl_ops)
+          << binary.name;
+      EXPECT_EQ(db_fp.value().fcntl_ops, resolver_fp.fcntl_ops)
+          << binary.name;
+      EXPECT_EQ(db_fp.value().prctl_ops, resolver_fp.prctl_ops)
+          << binary.name;
+      EXPECT_EQ(db_fp.value().pseudo_paths, resolver_fp.pseudo_paths)
+          << binary.name;
+      ++checked;
+    }
+  }
+  EXPECT_GE(checked, 8u);
+}
+
+TEST(DbPipeline, TablesArePopulated) {
+  const auto& db = Fixture().db_pipeline.database();
+  for (const char* table :
+       {"functions", "calls", "imports", "exports", "facts", "paths"}) {
+    ASSERT_NE(db.GetTable(table), nullptr) << table;
+  }
+  // At least the four core libraries are loaded (1,274 libc exports plus
+  // the ld.so/libpthread/librt entry points); package loads add more but
+  // tests may run in any order.
+  EXPECT_GE(db.GetTable("functions")->row_count(), 1277u);
+  EXPECT_GT(db.GetTable("facts")->row_count(), 300u);
+  EXPECT_GT(db.TotalRows(), 2000u);
+}
+
+TEST(DbPipeline, UnknownExecutableRejected) {
+  EXPECT_EQ(Fixture()
+                .db_pipeline.ExecutableFootprint("no-such-binary")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DbPipeline, DatabaseSerializationRoundTrip) {
+  ByteWriter writer;
+  Fixture().db_pipeline.database().Serialize(writer);
+  ByteReader reader(writer.bytes());
+  auto restored = db::Database::Deserialize(reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().TotalRows(),
+            Fixture().db_pipeline.database().TotalRows());
+  EXPECT_EQ(restored.value().GetTable("functions")->row_count(),
+            Fixture().db_pipeline.database().GetTable("functions")
+                ->row_count());
+}
+
+}  // namespace
+}  // namespace lapis::analysis

@@ -1,0 +1,203 @@
+// Table store and transitive-closure aggregation tests.
+
+#include <gtest/gtest.h>
+
+#include "src/db/table.h"
+#include "src/db/transitive_closure.h"
+
+namespace lapis::db {
+namespace {
+
+Table MakeEdgeTable() {
+  Table edges("edges", {{"src", ColumnType::kInt64},
+                        {"dst", ColumnType::kInt64}});
+  return edges;
+}
+
+TEST(Table, InsertAndAccess) {
+  Table t("pkg", {{"id", ColumnType::kInt64},
+                  {"name", ColumnType::kString}});
+  ASSERT_TRUE(t.Insert({int64_t{1}, std::string("libc")}).ok());
+  ASSERT_TRUE(t.Insert({int64_t{2}, std::string("bash")}).ok());
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.GetInt(0, 0), 1);
+  EXPECT_EQ(t.GetString(1, 1), "bash");
+  EXPECT_EQ(t.ColumnIndex("name"), 1);
+  EXPECT_EQ(t.ColumnIndex("missing"), -1);
+}
+
+TEST(Table, RejectsArityAndTypeMismatch) {
+  Table t("t", {{"a", ColumnType::kInt64}});
+  EXPECT_FALSE(t.Insert({}).ok());
+  EXPECT_FALSE(t.Insert({std::string("x")}).ok());
+  EXPECT_FALSE(t.Insert({int64_t{1}, int64_t{2}}).ok());
+}
+
+TEST(Table, IndexLookup) {
+  Table t("t", {{"key", ColumnType::kInt64},
+                {"val", ColumnType::kInt64}});
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Insert({i % 10, i}).ok());
+  }
+  ASSERT_TRUE(t.BuildIndex(0).ok());
+  EXPECT_TRUE(t.HasIndex(0));
+  EXPECT_EQ(t.Lookup(0, 3).size(), 10u);
+  EXPECT_TRUE(t.Lookup(0, 999).empty());
+  EXPECT_TRUE(t.Lookup(1, 3).empty());  // no index on col 1
+  // Index stays fresh across inserts.
+  ASSERT_TRUE(t.Insert({int64_t{3}, int64_t{1000}}).ok());
+  EXPECT_EQ(t.Lookup(0, 3).size(), 11u);
+}
+
+TEST(Table, IndexRequiresIntColumn) {
+  Table t("t", {{"s", ColumnType::kString}});
+  EXPECT_FALSE(t.BuildIndex(0).ok());
+  EXPECT_FALSE(t.BuildIndex(5).ok());
+}
+
+TEST(Table, ScanEqual) {
+  Table t("t", {{"k", ColumnType::kInt64}});
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.Insert({i % 4}).ok());
+  }
+  EXPECT_EQ(t.ScanEqual(0, 2).size(), 5u);
+}
+
+TEST(Table, SerializeRoundTrip) {
+  Table t("mixed", {{"id", ColumnType::kInt64},
+                    {"name", ColumnType::kString}});
+  ASSERT_TRUE(t.Insert({int64_t{-5}, std::string("neg")}).ok());
+  ASSERT_TRUE(t.Insert({int64_t{1LL << 40}, std::string("")}).ok());
+  ByteWriter w;
+  t.Serialize(w);
+  ByteReader r(w.bytes());
+  auto restored = Table::Deserialize(r);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().name(), "mixed");
+  EXPECT_EQ(restored.value().row_count(), 2u);
+  EXPECT_EQ(restored.value().GetInt(0, 0), -5);
+  EXPECT_EQ(restored.value().GetInt(1, 0), 1LL << 40);
+  EXPECT_EQ(restored.value().GetString(0, 1), "neg");
+}
+
+TEST(Database, CreateAndLookup) {
+  Database db;
+  auto t1 = db.CreateTable("a", {{"x", ColumnType::kInt64}});
+  ASSERT_TRUE(t1.ok());
+  EXPECT_FALSE(db.CreateTable("a", {}).ok());
+  EXPECT_EQ(db.GetTable("a"), t1.value());
+  EXPECT_EQ(db.GetTable("b"), nullptr);
+  ASSERT_TRUE(t1.value()->Insert({int64_t{1}}).ok());
+  EXPECT_EQ(db.TotalRows(), 1u);
+}
+
+TEST(Database, SerializeRoundTrip) {
+  Database db;
+  auto t = db.CreateTable("facts", {{"node", ColumnType::kInt64},
+                                    {"fact", ColumnType::kInt64}});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t.value()->Insert({int64_t{0}, int64_t{7}}).ok());
+  ByteWriter w;
+  db.Serialize(w);
+  ByteReader r(w.bytes());
+  auto restored = Database::Deserialize(r);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_NE(restored.value().GetTable("facts"), nullptr);
+  EXPECT_EQ(restored.value().GetTable("facts")->row_count(), 1u);
+}
+
+TEST(Database, RejectsCorruptStream) {
+  std::vector<uint8_t> garbage = {1, 2, 3, 4, 5};
+  ByteReader r(garbage);
+  EXPECT_FALSE(Database::Deserialize(r).ok());
+}
+
+// ---------------- Transitive aggregation ----------------
+
+TEST(TransitiveAggregator, LinearChain) {
+  TransitiveAggregator agg(3);
+  ASSERT_TRUE(agg.AddEdge(0, 1).ok());
+  ASSERT_TRUE(agg.AddEdge(1, 2).ok());
+  ASSERT_TRUE(agg.AddFact(2, 100).ok());
+  ASSERT_TRUE(agg.AddFact(1, 50).ok());
+  auto result = agg.Aggregate();
+  EXPECT_EQ(result[0], (std::vector<int64_t>{50, 100}));
+  EXPECT_EQ(result[1], (std::vector<int64_t>{50, 100}));
+  EXPECT_EQ(result[2], (std::vector<int64_t>{100}));
+}
+
+TEST(TransitiveAggregator, Diamond) {
+  // Diamond: 0 -> {1, 2} -> 3 (fact 9 on node 3).
+  TransitiveAggregator agg(4);
+  ASSERT_TRUE(agg.AddEdge(0, 1).ok());
+  ASSERT_TRUE(agg.AddEdge(0, 2).ok());
+  ASSERT_TRUE(agg.AddEdge(1, 3).ok());
+  ASSERT_TRUE(agg.AddEdge(2, 3).ok());
+  ASSERT_TRUE(agg.AddFact(3, 9).ok());
+  auto result = agg.Aggregate();
+  EXPECT_EQ(result[0], (std::vector<int64_t>{9}));  // deduplicated
+}
+
+TEST(TransitiveAggregator, CycleShareFacts) {
+  // 0 <-> 1 cycle; 2 -> 0.
+  TransitiveAggregator agg(3);
+  ASSERT_TRUE(agg.AddEdge(0, 1).ok());
+  ASSERT_TRUE(agg.AddEdge(1, 0).ok());
+  ASSERT_TRUE(agg.AddEdge(2, 0).ok());
+  ASSERT_TRUE(agg.AddFact(0, 1).ok());
+  ASSERT_TRUE(agg.AddFact(1, 2).ok());
+  auto result = agg.Aggregate();
+  EXPECT_EQ(result[0], (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(result[1], (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(result[2], (std::vector<int64_t>{1, 2}));
+}
+
+TEST(TransitiveAggregator, SelfLoopAndIsolated) {
+  TransitiveAggregator agg(2);
+  ASSERT_TRUE(agg.AddEdge(0, 0).ok());
+  ASSERT_TRUE(agg.AddFact(0, 5).ok());
+  auto result = agg.Aggregate();
+  EXPECT_EQ(result[0], (std::vector<int64_t>{5}));
+  EXPECT_TRUE(result[1].empty());
+}
+
+TEST(TransitiveAggregator, DeepChainNoStackOverflow) {
+  constexpr uint32_t kDepth = 200000;
+  TransitiveAggregator agg(kDepth);
+  for (uint32_t i = 0; i + 1 < kDepth; ++i) {
+    ASSERT_TRUE(agg.AddEdge(i, i + 1).ok());
+  }
+  ASSERT_TRUE(agg.AddFact(kDepth - 1, 42).ok());
+  auto result = agg.Aggregate();
+  EXPECT_EQ(result[0], (std::vector<int64_t>{42}));
+}
+
+TEST(TransitiveAggregator, BoundsChecked) {
+  TransitiveAggregator agg(2);
+  EXPECT_FALSE(agg.AddEdge(0, 5).ok());
+  EXPECT_FALSE(agg.AddEdge(5, 0).ok());
+  EXPECT_FALSE(agg.AddFact(9, 1).ok());
+}
+
+TEST(TransitiveAggregator, FromTables) {
+  Table edges = MakeEdgeTable();
+  ASSERT_TRUE(edges.Insert({int64_t{0}, int64_t{1}}).ok());
+  Table facts("facts", {{"node", ColumnType::kInt64},
+                        {"fact", ColumnType::kInt64}});
+  ASSERT_TRUE(facts.Insert({int64_t{1}, int64_t{77}}).ok());
+  auto agg = TransitiveAggregator::FromTables(edges, facts, 2);
+  ASSERT_TRUE(agg.ok());
+  auto result = agg.value().Aggregate();
+  EXPECT_EQ(result[0], (std::vector<int64_t>{77}));
+}
+
+TEST(TransitiveAggregator, FromTablesValidates) {
+  Table edges = MakeEdgeTable();
+  ASSERT_TRUE(edges.Insert({int64_t{0}, int64_t{9}}).ok());
+  Table facts("facts", {{"node", ColumnType::kInt64},
+                        {"fact", ColumnType::kInt64}});
+  EXPECT_FALSE(TransitiveAggregator::FromTables(edges, facts, 2).ok());
+}
+
+}  // namespace
+}  // namespace lapis::db

@@ -1,0 +1,229 @@
+// Distribution-plan invariants: the spec must be complete, deterministic,
+// and realize the paper's tier structure.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/corpus/distro_spec.h"
+#include "src/corpus/syscall_table.h"
+
+namespace lapis::corpus {
+namespace {
+
+DistroOptions TestOptions() {
+  DistroOptions options;
+  options.app_package_count = 500;
+  options.script_package_count = 80;
+  options.data_package_count = 15;
+  return options;
+}
+
+const DistroSpec& Spec() {
+  static const DistroSpec* spec = [] {
+    auto result = BuildDistroSpec(TestOptions());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return new DistroSpec(result.take());
+  }();
+  return *spec;
+}
+
+TEST(DistroSpec, RankOrderCoversAll320Once) {
+  ASSERT_EQ(Spec().syscall_rank_order.size(), 320u);
+  std::set<int> seen(Spec().syscall_rank_order.begin(),
+                     Spec().syscall_rank_order.end());
+  EXPECT_EQ(seen.size(), 320u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 319);
+}
+
+TEST(DistroSpec, First40AreTheStartupSet) {
+  std::set<int> first40(Spec().syscall_rank_order.begin(),
+                        Spec().syscall_rank_order.begin() + 40);
+  std::set<int> startup(StartupSyscalls().begin(), StartupSyscalls().end());
+  EXPECT_EQ(first40, startup);
+}
+
+TEST(DistroSpec, UnusedSyscallsRankLast) {
+  std::set<int> last18(Spec().syscall_rank_order.end() - 18,
+                       Spec().syscall_rank_order.end());
+  std::set<int> unused(UnusedSyscalls().begin(), UnusedSyscalls().end());
+  EXPECT_EQ(last18, unused);
+}
+
+TEST(DistroSpec, PinnedRanksRespected) {
+  for (const auto& pin : PinnedRanks()) {
+    EXPECT_EQ(Spec().RankOf(pin.syscall_nr), pin.rank)
+        << SyscallName(pin.syscall_nr);
+  }
+}
+
+TEST(DistroSpec, SpecialFourLateInTierB) {
+  for (const char* name : {"clock_settime", "iopl", "ioperm", "signalfd4"}) {
+    int rank = Spec().RankOf(*SyscallNumber(name));
+    EXPECT_GE(rank, 204) << name;
+    EXPECT_LE(rank, 207) << name;
+  }
+}
+
+TEST(DistroSpec, Deterministic) {
+  auto again = BuildDistroSpec(TestOptions());
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.value().packages.size(), Spec().packages.size());
+  EXPECT_EQ(again.value().syscall_rank_order, Spec().syscall_rank_order);
+  for (size_t i = 0; i < Spec().packages.size(); ++i) {
+    EXPECT_EQ(again.value().packages[i].name, Spec().packages[i].name);
+    EXPECT_EQ(again.value().packages[i].syscall_prefix_rank,
+              Spec().packages[i].syscall_prefix_rank);
+    EXPECT_EQ(again.value().packages[i].extra_syscalls,
+              Spec().packages[i].extra_syscalls);
+  }
+}
+
+TEST(DistroSpec, CorePackagesExist) {
+  for (const char* name : {"libc6", "coreutils", "python-core", "dash-shell",
+                           "qemu-user", "kexec-tools", "libnuma"}) {
+    EXPECT_TRUE(Spec().by_name.count(name)) << name;
+  }
+}
+
+TEST(DistroSpec, EssentialsHaveFullMarginal) {
+  size_t essentials = 0;
+  for (const auto& plan : Spec().packages) {
+    if (plan.is_essential) {
+      ++essentials;
+      EXPECT_DOUBLE_EQ(plan.target_marginal, 1.0) << plan.name;
+    }
+  }
+  EXPECT_GE(essentials, 13u);  // libc6 + named essentials + shells
+}
+
+TEST(DistroSpec, CoreutilsCoversTierB) {
+  auto it = Spec().by_name.find("coreutils");
+  ASSERT_NE(it, Spec().by_name.end());
+  EXPECT_EQ(Spec().packages[it->second].syscall_prefix_rank, 224);
+}
+
+TEST(DistroSpec, PrefixRanksWithinBounds) {
+  for (const auto& plan : Spec().packages) {
+    if (plan.data_only || !plan.interpreter_package.empty()) {
+      continue;
+    }
+    EXPECT_GE(plan.syscall_prefix_rank, 40) << plan.name;
+    EXPECT_LE(plan.syscall_prefix_rank, 224) << plan.name;
+  }
+}
+
+TEST(DistroSpec, PopularPackagesUseMoreSyscalls) {
+  // The Fig 3 / Fig 8 anchors jointly force a positive correlation between
+  // popularity and prefix size (see DESIGN.md).
+  double high_p_sum = 0;
+  int high_n = 0;
+  double low_p_sum = 0;
+  int low_n = 0;
+  for (const auto& plan : Spec().packages) {
+    if (plan.data_only || !plan.interpreter_package.empty()) {
+      continue;
+    }
+    if (plan.target_marginal > 0.5) {
+      high_p_sum += plan.syscall_prefix_rank;
+      ++high_n;
+    } else if (plan.target_marginal < 0.01) {
+      low_p_sum += plan.syscall_prefix_rank;
+      ++low_n;
+    }
+  }
+  ASSERT_GT(high_n, 0);
+  ASSERT_GT(low_n, 0);
+  EXPECT_GT(high_p_sum / high_n, low_p_sum / low_n + 50.0);
+}
+
+TEST(DistroSpec, QemuIsMostDemanding) {
+  auto it = Spec().by_name.find("qemu-user");
+  ASSERT_NE(it, Spec().by_name.end());
+  auto footprint = Spec().ExpectedSyscalls(it->second);
+  EXPECT_GE(footprint.size(), 268u);
+  EXPECT_LE(footprint.size(), 272u);
+  // qemu is the maximum.
+  for (size_t i = 0; i < Spec().packages.size(); ++i) {
+    EXPECT_LE(Spec().ExpectedSyscalls(i).size(), footprint.size())
+        << Spec().packages[i].name;
+  }
+}
+
+TEST(DistroSpec, ScriptPackagesInheritInterpreterFootprint) {
+  for (size_t i = 0; i < Spec().packages.size(); ++i) {
+    const auto& plan = Spec().packages[i];
+    if (plan.interpreter_package.empty()) {
+      continue;
+    }
+    auto interp = Spec().by_name.find(plan.interpreter_package);
+    ASSERT_NE(interp, Spec().by_name.end());
+    EXPECT_EQ(Spec().ExpectedSyscalls(i),
+              Spec().ExpectedSyscalls(interp->second));
+  }
+}
+
+TEST(DistroSpec, DataPackagesAreEmpty) {
+  size_t data_count = 0;
+  for (size_t i = 0; i < Spec().packages.size(); ++i) {
+    if (Spec().packages[i].data_only) {
+      ++data_count;
+      EXPECT_TRUE(Spec().ExpectedSyscalls(i).empty());
+    }
+  }
+  EXPECT_EQ(data_count, TestOptions().data_package_count);
+}
+
+TEST(DistroSpec, TailPlansCarriedByNamedPackages) {
+  for (const auto& plan_entry : TailSyscallPlans()) {
+    for (const auto& pkg_name : plan_entry.packages) {
+      auto it = Spec().by_name.find(pkg_name);
+      ASSERT_NE(it, Spec().by_name.end()) << pkg_name;
+      const auto& plan = Spec().packages[it->second];
+      EXPECT_TRUE(std::count(plan.extra_syscalls.begin(),
+                             plan.extra_syscalls.end(),
+                             plan_entry.syscall_nr) > 0)
+          << pkg_name << " missing " << SyscallName(plan_entry.syscall_nr);
+    }
+  }
+}
+
+TEST(DistroSpec, UnusedSyscallsHaveNoCarriers) {
+  std::set<int> unused(UnusedSyscalls().begin(), UnusedSyscalls().end());
+  for (const auto& plan : Spec().packages) {
+    for (int nr : plan.extra_syscalls) {
+      EXPECT_FALSE(unused.count(nr)) << plan.name << " " << SyscallName(nr);
+    }
+  }
+}
+
+TEST(DistroSpec, ExpectedSyscallsIncludeVectoredWrappers) {
+  for (size_t i = 0; i < Spec().packages.size(); ++i) {
+    const auto& plan = Spec().packages[i];
+    if (plan.static_binary) {
+      continue;
+    }
+    auto expected = Spec().ExpectedSyscalls(i);
+    if (!plan.ioctl_ranks.empty()) {
+      EXPECT_TRUE(expected.count(16)) << plan.name;
+    }
+    if (!plan.prctl_ranks.empty()) {
+      EXPECT_TRUE(expected.count(157)) << plan.name;
+    }
+  }
+}
+
+TEST(DistroSpec, RejectsTinyConfigurations) {
+  DistroOptions options;
+  options.app_package_count = 10;
+  EXPECT_FALSE(BuildDistroSpec(options).ok());
+}
+
+TEST(DistroSpec, RankOfReportsMissing) {
+  EXPECT_EQ(Spec().RankOf(-5), -1);
+  EXPECT_EQ(Spec().RankOf(*SyscallNumber("read")) <= 40, true);
+}
+
+}  // namespace
+}  // namespace lapis::corpus

@@ -1,0 +1,105 @@
+// FlagParser tests.
+
+#include <gtest/gtest.h>
+
+#include "src/util/flags.h"
+
+namespace lapis {
+namespace {
+
+FlagParser MakeParser() {
+  FlagParser parser("test tool");
+  parser.AddString("name", "default", "a string");
+  parser.AddInt("count", 7, "an int");
+  parser.AddBool("verbose", false, "a bool");
+  parser.AddDouble("ratio", 0.5, "a double");
+  return parser;
+}
+
+Status ParseArgs(FlagParser& parser, std::vector<const char*> args) {
+  return parser.Parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Flags, DefaultsApply) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {}).ok());
+  EXPECT_EQ(parser.GetString("name"), "default");
+  EXPECT_EQ(parser.GetInt("count"), 7);
+  EXPECT_FALSE(parser.GetBool("verbose"));
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), 0.5);
+}
+
+TEST(Flags, EqualsForm) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--name=hello", "--count=42",
+                                 "--verbose=true", "--ratio=0.25"})
+                  .ok());
+  EXPECT_EQ(parser.GetString("name"), "hello");
+  EXPECT_EQ(parser.GetInt("count"), 42);
+  EXPECT_TRUE(parser.GetBool("verbose"));
+  EXPECT_DOUBLE_EQ(parser.GetDouble("ratio"), 0.25);
+}
+
+TEST(Flags, SeparateValueForm) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--name", "x", "--count", "-3"}).ok());
+  EXPECT_EQ(parser.GetString("name"), "x");
+  EXPECT_EQ(parser.GetInt("count"), -3);
+}
+
+TEST(Flags, BareBooleanSetsTrue) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--verbose"}).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(Flags, PositionalArguments) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(
+      ParseArgs(parser, {"file1", "--count=2", "file2", "--", "--count=9"})
+          .ok());
+  EXPECT_EQ(parser.positional(),
+            (std::vector<std::string>{"file1", "file2", "--count=9"}));
+  EXPECT_EQ(parser.GetInt("count"), 2);
+}
+
+TEST(Flags, Errors) {
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_EQ(ParseArgs(parser, {"--nope=1"}).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_EQ(ParseArgs(parser, {"--count=abc"}).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_EQ(ParseArgs(parser, {"--count"}).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_EQ(ParseArgs(parser, {"--verbose=maybe"}).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    FlagParser parser = MakeParser();
+    EXPECT_EQ(ParseArgs(parser, {"--ratio=xyz"}).code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(Flags, HelpRequested) {
+  FlagParser parser = MakeParser();
+  ASSERT_TRUE(ParseArgs(parser, {"--help"}).ok());
+  EXPECT_TRUE(parser.help_requested());
+  std::string usage = parser.Usage();
+  EXPECT_NE(usage.find("--name"), std::string::npos);
+  EXPECT_NE(usage.find("a string"), std::string::npos);
+  EXPECT_NE(usage.find("default \"default\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lapis

@@ -1,0 +1,111 @@
+// Shebang classification tests (Fig 1 methodology).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/analysis/script_scanner.h"
+#include "src/corpus/binary_synth.h"
+#include "src/corpus/distro_spec.h"
+
+namespace lapis::analysis {
+namespace {
+
+Result<ScriptInfo> Classify(const std::string& text) {
+  std::vector<uint8_t> bytes(text.begin(), text.end());
+  return ClassifyScript(bytes);
+}
+
+TEST(ScriptScanner, DirectShebangs) {
+  struct Case {
+    const char* text;
+    package::ProgramKind kind;
+    const char* interpreter;
+  } cases[] = {
+      {"#!/bin/sh\necho hi\n", package::ProgramKind::kShellDash, "sh"},
+      {"#!/bin/dash\n", package::ProgramKind::kShellDash, "dash"},
+      {"#!/bin/bash\n", package::ProgramKind::kShellBash, "bash"},
+      {"#!/usr/bin/python2.7\n", package::ProgramKind::kPython,
+       "python2.7"},
+      {"#!/usr/bin/python3\n", package::ProgramKind::kPython, "python3"},
+      {"#!/usr/bin/perl -w\n", package::ProgramKind::kPerl, "perl"},
+      {"#!/usr/bin/ruby1.9\n", package::ProgramKind::kRuby, "ruby1.9"},
+      {"#!/usr/bin/tclsh\n", package::ProgramKind::kOtherInterpreted,
+       "tclsh"},
+      {"#!/usr/bin/awk -f\n", package::ProgramKind::kOtherInterpreted,
+       "awk"},
+  };
+  for (const auto& c : cases) {
+    auto info = Classify(c.text);
+    ASSERT_TRUE(info.ok()) << c.text;
+    EXPECT_EQ(info.value().kind, c.kind) << c.text;
+    EXPECT_EQ(info.value().interpreter, c.interpreter) << c.text;
+  }
+}
+
+TEST(ScriptScanner, EnvIndirection) {
+  auto info = Classify("#!/usr/bin/env python\nprint 'x'\n");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().kind, package::ProgramKind::kPython);
+  EXPECT_EQ(info.value().interpreter, "python");
+
+  auto bash = Classify("#!/usr/bin/env bash\n");
+  ASSERT_TRUE(bash.ok());
+  EXPECT_EQ(bash.value().kind, package::ProgramKind::kShellBash);
+}
+
+TEST(ScriptScanner, RejectsNonScripts) {
+  EXPECT_FALSE(Classify("").ok());
+  EXPECT_FALSE(Classify("#").ok());
+  EXPECT_FALSE(Classify("\x7f""ELF binary bytes").ok());
+  EXPECT_FALSE(Classify("echo no shebang\n").ok());
+  EXPECT_FALSE(Classify("#!/usr/bin/env \n").ok());
+  EXPECT_FALSE(Classify("#!   \n").ok());
+}
+
+TEST(ScriptScanner, ShebangWithoutNewline) {
+  auto info = Classify("#!/bin/sh");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().interpreter, "sh");
+}
+
+TEST(ScriptScanner, SynthesizedScriptsClassifyToTheirPlan) {
+  corpus::DistroOptions options;
+  options.app_package_count = 320;
+  options.script_package_count = 40;
+  options.data_package_count = 8;
+  auto spec = corpus::BuildDistroSpec(options).take();
+  corpus::DistroSynthesizer synthesizer(spec);
+  size_t script_packages = 0;
+  for (size_t pkg = 0; pkg < spec.packages.size(); ++pkg) {
+    const auto& plan = spec.packages[pkg];
+    if (plan.script_count == 0) {
+      continue;
+    }
+    ++script_packages;
+    auto scripts = synthesizer.PackageScripts(pkg).take();
+    ASSERT_EQ(scripts.size(), plan.script_count);
+    for (const auto& script : scripts) {
+      auto info = ClassifyScript(script.contents);
+      ASSERT_TRUE(info.ok()) << script.name;
+      EXPECT_EQ(info.value().kind, plan.kind) << script.name;
+    }
+  }
+  EXPECT_GT(script_packages, 20u);
+}
+
+TEST(ScriptScanner, ElfPackagesShipNoScripts) {
+  corpus::DistroOptions options;
+  options.app_package_count = 320;
+  options.script_package_count = 10;
+  options.data_package_count = 5;
+  auto spec = corpus::BuildDistroSpec(options).take();
+  corpus::DistroSynthesizer synthesizer(spec);
+  auto it = spec.by_name.find("coreutils");
+  ASSERT_NE(it, spec.by_name.end());
+  EXPECT_TRUE(synthesizer.PackageScripts(it->second).take().empty());
+  EXPECT_FALSE(synthesizer.PackageScripts(999999).ok());
+}
+
+}  // namespace
+}  // namespace lapis::analysis

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "src/util/bytes.h"
+#include "src/util/prng.h"
+#include "src/util/status.h"
+#include "src/util/strings.h"
+#include "src/util/table_writer.h"
+
+namespace lapis {
+namespace {
+
+// ---------------- Status / Result ----------------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = CorruptDataError("bad magic");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruptData);
+  EXPECT_EQ(s.ToString(), "CORRUPT_DATA: bad magic");
+}
+
+TEST(Status, AllConstructorsMapCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(NotFoundError("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> Doubler(Result<int> in) {
+  LAPIS_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  EXPECT_EQ(Doubler(InternalError("boom")).status().code(),
+            StatusCode::kInternal);
+}
+
+// ---------------- PRNG ----------------
+
+TEST(Prng, Deterministic) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, NextBelowInRange) {
+  Prng prng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(prng.NextBelow(17), 17u);
+  }
+  EXPECT_EQ(prng.NextBelow(1), 0u);
+}
+
+TEST(Prng, NextInRangeInclusive) {
+  Prng prng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = prng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Prng, NextDoubleUnitInterval) {
+  Prng prng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = prng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, NextBoolProbability) {
+  Prng prng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += prng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+  EXPECT_FALSE(prng.NextBool(0.0));
+  EXPECT_TRUE(prng.NextBool(1.0));
+}
+
+TEST(Prng, ShufflePreservesElements) {
+  Prng prng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  prng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Prng, ForkIndependentStreams) {
+  Prng parent(99);
+  Prng child1 = parent.Fork(1);
+  Prng child2 = parent.Fork(2);
+  EXPECT_NE(child1.Next(), child2.Next());
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0;
+  for (uint64_t r = 1; r <= 100; ++r) {
+    total += zipf.Pmf(r);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(zipf.Pmf(0), 0.0);
+  EXPECT_EQ(zipf.Pmf(101), 0.0);
+}
+
+TEST(Zipf, Rank1MostLikely) {
+  ZipfSampler zipf(50, 0.8);
+  Prng prng(23);
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[zipf.Sample(prng)];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+}
+
+// ---------------- Bytes ----------------
+
+TEST(Bytes, WriteReadRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI32(-42);
+  w.PutI64(-1234567890123LL);
+  w.PutLengthPrefixedString("hello");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadU8().value(), 0xab);
+  EXPECT_EQ(r.ReadU16().value(), 0x1234);
+  EXPECT_EQ(r.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.ReadI32().value(), -42);
+  EXPECT_EQ(r.ReadI64().value(), -1234567890123LL);
+  EXPECT_EQ(r.ReadLengthPrefixedString().value(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.PutU32(0x01020304);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(Bytes, ReadPastEndFails) {
+  std::vector<uint8_t> data = {1, 2};
+  ByteReader r(data);
+  EXPECT_TRUE(r.ReadU32().status().code() == StatusCode::kOutOfRange);
+}
+
+TEST(Bytes, AlignAndPatch) {
+  ByteWriter w;
+  w.PutU8(1);
+  w.AlignTo(8);
+  EXPECT_EQ(w.size(), 8u);
+  w.PutU32(0);
+  w.PatchU32(8, 0xfeedface);
+  ByteReader r(w.bytes());
+  ASSERT_TRUE(r.Seek(8).ok());
+  EXPECT_EQ(r.ReadU32().value(), 0xfeedfaceu);
+}
+
+TEST(Bytes, CStringAt) {
+  ByteWriter w;
+  w.PutCString("abc");
+  w.PutCString("def");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadCStringAt(0).value(), "abc");
+  EXPECT_EQ(r.ReadCStringAt(4).value(), "def");
+  EXPECT_FALSE(r.ReadCStringAt(100).ok());
+}
+
+TEST(Bytes, UnterminatedCStringFails) {
+  std::vector<uint8_t> data = {'a', 'b', 'c'};
+  ByteReader r(data);
+  EXPECT_EQ(r.ReadCStringAt(0).status().code(), StatusCode::kCorruptData);
+}
+
+// ---------------- Strings ----------------
+
+TEST(Strings, Split) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(Strings, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(2935744), "2,935,744");
+}
+
+TEST(Strings, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.931), "93.1%");
+  EXPECT_EQ(FormatPercent(0.0042, 2), "0.42%");
+}
+
+TEST(Strings, IsPseudoFilePath) {
+  EXPECT_TRUE(IsPseudoFilePath("/proc/cpuinfo"));
+  EXPECT_TRUE(IsPseudoFilePath("/dev/null"));
+  EXPECT_TRUE(IsPseudoFilePath("/sys/block"));
+  EXPECT_FALSE(IsPseudoFilePath("/etc/passwd"));
+  EXPECT_FALSE(IsPseudoFilePath("proc/cpuinfo"));
+}
+
+TEST(Strings, CanonicalizePseudoPath) {
+  EXPECT_EQ(CanonicalizePseudoPath("/proc/%d/cmdline"), "/proc/%/cmdline");
+  EXPECT_EQ(CanonicalizePseudoPath("/proc/%ld/stat"), "/proc/%/stat");
+  EXPECT_EQ(CanonicalizePseudoPath("/dev/null"), "/dev/null");
+  EXPECT_EQ(CanonicalizePseudoPath("/proc/%s"), "/proc/%");
+}
+
+TEST(Strings, IsPrintableAscii) {
+  EXPECT_TRUE(IsPrintableAscii("/dev/null v1.0"));
+  EXPECT_FALSE(IsPrintableAscii(std::string("\x01\x02")));
+}
+
+// ---------------- TableWriter ----------------
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableWriter, TsvOutput) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintTsv(os);
+  EXPECT_EQ(os.str(), "a\tb\n1\t2\n");
+}
+
+TEST(TableWriter, ShortRowsArePadded) {
+  TableWriter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);  // must not crash; missing cells render empty
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lapis
