@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_independence.dir/bench_ablation_independence.cc.o"
+  "CMakeFiles/bench_ablation_independence.dir/bench_ablation_independence.cc.o.d"
+  "bench_ablation_independence"
+  "bench_ablation_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_survey.dir/bench_ablation_survey.cc.o"
+  "CMakeFiles/bench_ablation_survey.dir/bench_ablation_survey.cc.o.d"
+  "bench_ablation_survey"
+  "bench_ablation_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

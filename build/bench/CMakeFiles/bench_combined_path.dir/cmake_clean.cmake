@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_combined_path.dir/bench_combined_path.cc.o"
+  "CMakeFiles/bench_combined_path.dir/bench_combined_path.cc.o.d"
+  "bench_combined_path"
+  "bench_combined_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combined_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

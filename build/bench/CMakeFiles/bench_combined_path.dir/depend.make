@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_combined_path.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_binary_types.dir/bench_fig1_binary_types.cc.o"
+  "CMakeFiles/bench_fig1_binary_types.dir/bench_fig1_binary_types.cc.o.d"
+  "bench_fig1_binary_types"
+  "bench_fig1_binary_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_binary_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_completeness_path.dir/bench_fig3_completeness_path.cc.o"
+  "CMakeFiles/bench_fig3_completeness_path.dir/bench_fig3_completeness_path.cc.o.d"
+  "bench_fig3_completeness_path"
+  "bench_fig3_completeness_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_completeness_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

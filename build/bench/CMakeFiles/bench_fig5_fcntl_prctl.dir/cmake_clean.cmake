@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_fcntl_prctl.dir/bench_fig5_fcntl_prctl.cc.o"
+  "CMakeFiles/bench_fig5_fcntl_prctl.dir/bench_fig5_fcntl_prctl.cc.o.d"
+  "bench_fig5_fcntl_prctl"
+  "bench_fig5_fcntl_prctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_fcntl_prctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_pseudo_files.dir/bench_fig6_pseudo_files.cc.o"
+  "CMakeFiles/bench_fig6_pseudo_files.dir/bench_fig6_pseudo_files.cc.o.d"
+  "bench_fig6_pseudo_files"
+  "bench_fig6_pseudo_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_pseudo_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

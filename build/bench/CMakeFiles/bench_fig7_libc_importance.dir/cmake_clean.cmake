@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_libc_importance.dir/bench_fig7_libc_importance.cc.o"
+  "CMakeFiles/bench_fig7_libc_importance.dir/bench_fig7_libc_importance.cc.o.d"
+  "bench_fig7_libc_importance"
+  "bench_fig7_libc_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_libc_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

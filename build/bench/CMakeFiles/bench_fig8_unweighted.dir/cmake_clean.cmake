@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_unweighted.dir/bench_fig8_unweighted.cc.o"
+  "CMakeFiles/bench_fig8_unweighted.dir/bench_fig8_unweighted.cc.o.d"
+  "bench_fig8_unweighted"
+  "bench_fig8_unweighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_unweighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

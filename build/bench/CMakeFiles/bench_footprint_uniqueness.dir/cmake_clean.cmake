@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_footprint_uniqueness.dir/bench_footprint_uniqueness.cc.o"
+  "CMakeFiles/bench_footprint_uniqueness.dir/bench_footprint_uniqueness.cc.o.d"
+  "bench_footprint_uniqueness"
+  "bench_footprint_uniqueness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_footprint_uniqueness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

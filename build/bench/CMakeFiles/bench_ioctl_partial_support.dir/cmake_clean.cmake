@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ioctl_partial_support.dir/bench_ioctl_partial_support.cc.o"
+  "CMakeFiles/bench_ioctl_partial_support.dir/bench_ioctl_partial_support.cc.o.d"
+  "bench_ioctl_partial_support"
+  "bench_ioctl_partial_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ioctl_partial_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ioctl_partial_support.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_libc_restructure.dir/bench_libc_restructure.cc.o"
+  "CMakeFiles/bench_libc_restructure.dir/bench_libc_restructure.cc.o.d"
+  "bench_libc_restructure"
+  "bench_libc_restructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_libc_restructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_release_diff.dir/bench_release_diff.cc.o"
+  "CMakeFiles/bench_release_diff.dir/bench_release_diff.cc.o.d"
+  "bench_release_diff"
+  "bench_release_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_release_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

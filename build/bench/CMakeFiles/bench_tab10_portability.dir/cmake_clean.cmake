@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab10_portability.dir/bench_tab10_portability.cc.o"
+  "CMakeFiles/bench_tab10_portability.dir/bench_tab10_portability.cc.o.d"
+  "bench_tab10_portability"
+  "bench_tab10_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab10_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

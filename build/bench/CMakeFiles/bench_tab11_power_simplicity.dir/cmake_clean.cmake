@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab11_power_simplicity.dir/bench_tab11_power_simplicity.cc.o"
+  "CMakeFiles/bench_tab11_power_simplicity.dir/bench_tab11_power_simplicity.cc.o.d"
+  "bench_tab11_power_simplicity"
+  "bench_tab11_power_simplicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab11_power_simplicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

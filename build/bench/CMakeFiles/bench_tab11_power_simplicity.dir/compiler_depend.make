@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab11_power_simplicity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab11_power_simplicity.
+# This may be replaced when dependencies are built.

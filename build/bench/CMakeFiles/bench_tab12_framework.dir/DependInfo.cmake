@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tab12_framework.cc" "bench/CMakeFiles/bench_tab12_framework.dir/bench_tab12_framework.cc.o" "gcc" "bench/CMakeFiles/bench_tab12_framework.dir/bench_tab12_framework.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/lapis_bench_fixture.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/lapis_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lapis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/lapis_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/package/CMakeFiles/lapis_package.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lapis_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/lapis_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/disasm/CMakeFiles/lapis_disasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/lapis_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lapis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

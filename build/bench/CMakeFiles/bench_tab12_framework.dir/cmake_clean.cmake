@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab12_framework.dir/bench_tab12_framework.cc.o"
+  "CMakeFiles/bench_tab12_framework.dir/bench_tab12_framework.cc.o.d"
+  "bench_tab12_framework"
+  "bench_tab12_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab12_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_library_syscalls.dir/bench_tab1_library_syscalls.cc.o"
+  "CMakeFiles/bench_tab1_library_syscalls.dir/bench_tab1_library_syscalls.cc.o.d"
+  "bench_tab1_library_syscalls"
+  "bench_tab1_library_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_library_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

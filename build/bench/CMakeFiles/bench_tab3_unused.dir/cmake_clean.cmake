@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_unused.dir/bench_tab3_unused.cc.o"
+  "CMakeFiles/bench_tab3_unused.dir/bench_tab3_unused.cc.o.d"
+  "bench_tab3_unused"
+  "bench_tab3_unused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_unused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_stages.dir/bench_tab4_stages.cc.o"
+  "CMakeFiles/bench_tab4_stages.dir/bench_tab4_stages.cc.o.d"
+  "bench_tab4_stages"
+  "bench_tab4_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_startup_syscalls.dir/bench_tab5_startup_syscalls.cc.o"
+  "CMakeFiles/bench_tab5_startup_syscalls.dir/bench_tab5_startup_syscalls.cc.o.d"
+  "bench_tab5_startup_syscalls"
+  "bench_tab5_startup_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_startup_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

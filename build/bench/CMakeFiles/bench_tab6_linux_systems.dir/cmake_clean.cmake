@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab6_linux_systems.dir/bench_tab6_linux_systems.cc.o"
+  "CMakeFiles/bench_tab6_linux_systems.dir/bench_tab6_linux_systems.cc.o.d"
+  "bench_tab6_linux_systems"
+  "bench_tab6_linux_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab6_linux_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab7_libc_variants.
+# This may be replaced when dependencies are built.

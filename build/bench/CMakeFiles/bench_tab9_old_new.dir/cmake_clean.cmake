@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab9_old_new.dir/bench_tab9_old_new.cc.o"
+  "CMakeFiles/bench_tab9_old_new.dir/bench_tab9_old_new.cc.o.d"
+  "bench_tab9_old_new"
+  "bench_tab9_old_new.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab9_old_new.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_bench_fixture.dir/study_fixture.cc.o"
+  "CMakeFiles/lapis_bench_fixture.dir/study_fixture.cc.o.d"
+  "liblapis_bench_fixture.a"
+  "liblapis_bench_fixture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_bench_fixture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

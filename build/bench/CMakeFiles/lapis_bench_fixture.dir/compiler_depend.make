@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lapis_bench_fixture.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deprecation_impact.dir/deprecation_impact.cpp.o"
+  "CMakeFiles/deprecation_impact.dir/deprecation_impact.cpp.o.d"
+  "deprecation_impact"
+  "deprecation_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deprecation_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evaluate_prototype.dir/evaluate_prototype.cpp.o"
+  "CMakeFiles/evaluate_prototype.dir/evaluate_prototype.cpp.o.d"
+  "evaluate_prototype"
+  "evaluate_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evaluate_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_objdump.dir/lapis_objdump.cpp.o"
+  "CMakeFiles/lapis_objdump.dir/lapis_objdump.cpp.o.d"
+  "lapis_objdump"
+  "lapis_objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

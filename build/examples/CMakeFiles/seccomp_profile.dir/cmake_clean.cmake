@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seccomp_profile.dir/seccomp_profile.cpp.o"
+  "CMakeFiles/seccomp_profile.dir/seccomp_profile.cpp.o.d"
+  "seccomp_profile"
+  "seccomp_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seccomp_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/binary_analyzer.cc" "src/analysis/CMakeFiles/lapis_analysis.dir/binary_analyzer.cc.o" "gcc" "src/analysis/CMakeFiles/lapis_analysis.dir/binary_analyzer.cc.o.d"
+  "/root/repo/src/analysis/db_pipeline.cc" "src/analysis/CMakeFiles/lapis_analysis.dir/db_pipeline.cc.o" "gcc" "src/analysis/CMakeFiles/lapis_analysis.dir/db_pipeline.cc.o.d"
+  "/root/repo/src/analysis/dynamic_trace.cc" "src/analysis/CMakeFiles/lapis_analysis.dir/dynamic_trace.cc.o" "gcc" "src/analysis/CMakeFiles/lapis_analysis.dir/dynamic_trace.cc.o.d"
+  "/root/repo/src/analysis/footprint.cc" "src/analysis/CMakeFiles/lapis_analysis.dir/footprint.cc.o" "gcc" "src/analysis/CMakeFiles/lapis_analysis.dir/footprint.cc.o.d"
+  "/root/repo/src/analysis/library_resolver.cc" "src/analysis/CMakeFiles/lapis_analysis.dir/library_resolver.cc.o" "gcc" "src/analysis/CMakeFiles/lapis_analysis.dir/library_resolver.cc.o.d"
+  "/root/repo/src/analysis/script_scanner.cc" "src/analysis/CMakeFiles/lapis_analysis.dir/script_scanner.cc.o" "gcc" "src/analysis/CMakeFiles/lapis_analysis.dir/script_scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lapis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/lapis_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/disasm/CMakeFiles/lapis_disasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/lapis_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_analysis.dir/binary_analyzer.cc.o"
+  "CMakeFiles/lapis_analysis.dir/binary_analyzer.cc.o.d"
+  "CMakeFiles/lapis_analysis.dir/db_pipeline.cc.o"
+  "CMakeFiles/lapis_analysis.dir/db_pipeline.cc.o.d"
+  "CMakeFiles/lapis_analysis.dir/dynamic_trace.cc.o"
+  "CMakeFiles/lapis_analysis.dir/dynamic_trace.cc.o.d"
+  "CMakeFiles/lapis_analysis.dir/footprint.cc.o"
+  "CMakeFiles/lapis_analysis.dir/footprint.cc.o.d"
+  "CMakeFiles/lapis_analysis.dir/library_resolver.cc.o"
+  "CMakeFiles/lapis_analysis.dir/library_resolver.cc.o.d"
+  "CMakeFiles/lapis_analysis.dir/script_scanner.cc.o"
+  "CMakeFiles/lapis_analysis.dir/script_scanner.cc.o.d"
+  "liblapis_analysis.a"
+  "liblapis_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/function_builder.cc" "src/codegen/CMakeFiles/lapis_codegen.dir/function_builder.cc.o" "gcc" "src/codegen/CMakeFiles/lapis_codegen.dir/function_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lapis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/lapis_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/disasm/CMakeFiles/lapis_disasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

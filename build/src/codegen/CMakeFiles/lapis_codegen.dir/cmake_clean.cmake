@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_codegen.dir/function_builder.cc.o"
+  "CMakeFiles/lapis_codegen.dir/function_builder.cc.o.d"
+  "liblapis_codegen.a"
+  "liblapis_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

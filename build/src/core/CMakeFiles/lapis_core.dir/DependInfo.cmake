@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/api_id.cc" "src/core/CMakeFiles/lapis_core.dir/api_id.cc.o" "gcc" "src/core/CMakeFiles/lapis_core.dir/api_id.cc.o.d"
+  "/root/repo/src/core/completeness.cc" "src/core/CMakeFiles/lapis_core.dir/completeness.cc.o" "gcc" "src/core/CMakeFiles/lapis_core.dir/completeness.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/lapis_core.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/lapis_core.dir/dataset.cc.o.d"
+  "/root/repo/src/core/diff.cc" "src/core/CMakeFiles/lapis_core.dir/diff.cc.o" "gcc" "src/core/CMakeFiles/lapis_core.dir/diff.cc.o.d"
+  "/root/repo/src/core/libc_analysis.cc" "src/core/CMakeFiles/lapis_core.dir/libc_analysis.cc.o" "gcc" "src/core/CMakeFiles/lapis_core.dir/libc_analysis.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/lapis_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/lapis_core.dir/report.cc.o.d"
+  "/root/repo/src/core/seccomp.cc" "src/core/CMakeFiles/lapis_core.dir/seccomp.cc.o" "gcc" "src/core/CMakeFiles/lapis_core.dir/seccomp.cc.o.d"
+  "/root/repo/src/core/systems.cc" "src/core/CMakeFiles/lapis_core.dir/systems.cc.o" "gcc" "src/core/CMakeFiles/lapis_core.dir/systems.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lapis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

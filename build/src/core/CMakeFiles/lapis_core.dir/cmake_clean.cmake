@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_core.dir/api_id.cc.o"
+  "CMakeFiles/lapis_core.dir/api_id.cc.o.d"
+  "CMakeFiles/lapis_core.dir/completeness.cc.o"
+  "CMakeFiles/lapis_core.dir/completeness.cc.o.d"
+  "CMakeFiles/lapis_core.dir/dataset.cc.o"
+  "CMakeFiles/lapis_core.dir/dataset.cc.o.d"
+  "CMakeFiles/lapis_core.dir/diff.cc.o"
+  "CMakeFiles/lapis_core.dir/diff.cc.o.d"
+  "CMakeFiles/lapis_core.dir/libc_analysis.cc.o"
+  "CMakeFiles/lapis_core.dir/libc_analysis.cc.o.d"
+  "CMakeFiles/lapis_core.dir/report.cc.o"
+  "CMakeFiles/lapis_core.dir/report.cc.o.d"
+  "CMakeFiles/lapis_core.dir/seccomp.cc.o"
+  "CMakeFiles/lapis_core.dir/seccomp.cc.o.d"
+  "CMakeFiles/lapis_core.dir/systems.cc.o"
+  "CMakeFiles/lapis_core.dir/systems.cc.o.d"
+  "liblapis_core.a"
+  "liblapis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

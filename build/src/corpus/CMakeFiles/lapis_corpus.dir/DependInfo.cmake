@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/api_universe.cc" "src/corpus/CMakeFiles/lapis_corpus.dir/api_universe.cc.o" "gcc" "src/corpus/CMakeFiles/lapis_corpus.dir/api_universe.cc.o.d"
+  "/root/repo/src/corpus/binary_synth.cc" "src/corpus/CMakeFiles/lapis_corpus.dir/binary_synth.cc.o" "gcc" "src/corpus/CMakeFiles/lapis_corpus.dir/binary_synth.cc.o.d"
+  "/root/repo/src/corpus/dataset_io.cc" "src/corpus/CMakeFiles/lapis_corpus.dir/dataset_io.cc.o" "gcc" "src/corpus/CMakeFiles/lapis_corpus.dir/dataset_io.cc.o.d"
+  "/root/repo/src/corpus/distro_spec.cc" "src/corpus/CMakeFiles/lapis_corpus.dir/distro_spec.cc.o" "gcc" "src/corpus/CMakeFiles/lapis_corpus.dir/distro_spec.cc.o.d"
+  "/root/repo/src/corpus/study_runner.cc" "src/corpus/CMakeFiles/lapis_corpus.dir/study_runner.cc.o" "gcc" "src/corpus/CMakeFiles/lapis_corpus.dir/study_runner.cc.o.d"
+  "/root/repo/src/corpus/syscall_table.cc" "src/corpus/CMakeFiles/lapis_corpus.dir/syscall_table.cc.o" "gcc" "src/corpus/CMakeFiles/lapis_corpus.dir/syscall_table.cc.o.d"
+  "/root/repo/src/corpus/system_profiles.cc" "src/corpus/CMakeFiles/lapis_corpus.dir/system_profiles.cc.o" "gcc" "src/corpus/CMakeFiles/lapis_corpus.dir/system_profiles.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lapis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/lapis_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/disasm/CMakeFiles/lapis_disasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/lapis_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lapis_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/package/CMakeFiles/lapis_package.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lapis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/lapis_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

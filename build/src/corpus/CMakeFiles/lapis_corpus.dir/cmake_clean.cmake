@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_corpus.dir/api_universe.cc.o"
+  "CMakeFiles/lapis_corpus.dir/api_universe.cc.o.d"
+  "CMakeFiles/lapis_corpus.dir/binary_synth.cc.o"
+  "CMakeFiles/lapis_corpus.dir/binary_synth.cc.o.d"
+  "CMakeFiles/lapis_corpus.dir/dataset_io.cc.o"
+  "CMakeFiles/lapis_corpus.dir/dataset_io.cc.o.d"
+  "CMakeFiles/lapis_corpus.dir/distro_spec.cc.o"
+  "CMakeFiles/lapis_corpus.dir/distro_spec.cc.o.d"
+  "CMakeFiles/lapis_corpus.dir/study_runner.cc.o"
+  "CMakeFiles/lapis_corpus.dir/study_runner.cc.o.d"
+  "CMakeFiles/lapis_corpus.dir/syscall_table.cc.o"
+  "CMakeFiles/lapis_corpus.dir/syscall_table.cc.o.d"
+  "CMakeFiles/lapis_corpus.dir/system_profiles.cc.o"
+  "CMakeFiles/lapis_corpus.dir/system_profiles.cc.o.d"
+  "liblapis_corpus.a"
+  "liblapis_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/lapis_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/lapis_db.dir/table.cc.o.d"
+  "/root/repo/src/db/transitive_closure.cc" "src/db/CMakeFiles/lapis_db.dir/transitive_closure.cc.o" "gcc" "src/db/CMakeFiles/lapis_db.dir/transitive_closure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lapis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_db.dir/table.cc.o"
+  "CMakeFiles/lapis_db.dir/table.cc.o.d"
+  "CMakeFiles/lapis_db.dir/transitive_closure.cc.o"
+  "CMakeFiles/lapis_db.dir/transitive_closure.cc.o.d"
+  "liblapis_db.a"
+  "liblapis_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

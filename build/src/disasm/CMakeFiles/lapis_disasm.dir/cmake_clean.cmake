@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_disasm.dir/decoder.cc.o"
+  "CMakeFiles/lapis_disasm.dir/decoder.cc.o.d"
+  "CMakeFiles/lapis_disasm.dir/formatter.cc.o"
+  "CMakeFiles/lapis_disasm.dir/formatter.cc.o.d"
+  "CMakeFiles/lapis_disasm.dir/insn.cc.o"
+  "CMakeFiles/lapis_disasm.dir/insn.cc.o.d"
+  "liblapis_disasm.a"
+  "liblapis_disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_elf.dir/elf_builder.cc.o"
+  "CMakeFiles/lapis_elf.dir/elf_builder.cc.o.d"
+  "CMakeFiles/lapis_elf.dir/elf_image.cc.o"
+  "CMakeFiles/lapis_elf.dir/elf_image.cc.o.d"
+  "CMakeFiles/lapis_elf.dir/elf_reader.cc.o"
+  "CMakeFiles/lapis_elf.dir/elf_reader.cc.o.d"
+  "liblapis_elf.a"
+  "liblapis_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

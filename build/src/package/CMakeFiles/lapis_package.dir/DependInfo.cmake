@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/package/popcon.cc" "src/package/CMakeFiles/lapis_package.dir/popcon.cc.o" "gcc" "src/package/CMakeFiles/lapis_package.dir/popcon.cc.o.d"
+  "/root/repo/src/package/repository.cc" "src/package/CMakeFiles/lapis_package.dir/repository.cc.o" "gcc" "src/package/CMakeFiles/lapis_package.dir/repository.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lapis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

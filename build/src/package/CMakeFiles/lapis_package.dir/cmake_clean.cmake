@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_package.dir/popcon.cc.o"
+  "CMakeFiles/lapis_package.dir/popcon.cc.o.d"
+  "CMakeFiles/lapis_package.dir/repository.cc.o"
+  "CMakeFiles/lapis_package.dir/repository.cc.o.d"
+  "liblapis_package.a"
+  "liblapis_package.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_package.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

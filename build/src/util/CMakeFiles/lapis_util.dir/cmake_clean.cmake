@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_util.dir/bytes.cc.o"
+  "CMakeFiles/lapis_util.dir/bytes.cc.o.d"
+  "CMakeFiles/lapis_util.dir/flags.cc.o"
+  "CMakeFiles/lapis_util.dir/flags.cc.o.d"
+  "CMakeFiles/lapis_util.dir/prng.cc.o"
+  "CMakeFiles/lapis_util.dir/prng.cc.o.d"
+  "CMakeFiles/lapis_util.dir/status.cc.o"
+  "CMakeFiles/lapis_util.dir/status.cc.o.d"
+  "CMakeFiles/lapis_util.dir/strings.cc.o"
+  "CMakeFiles/lapis_util.dir/strings.cc.o.d"
+  "CMakeFiles/lapis_util.dir/table_writer.cc.o"
+  "CMakeFiles/lapis_util.dir/table_writer.cc.o.d"
+  "liblapis_util.a"
+  "liblapis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblapis_util.a"
+)

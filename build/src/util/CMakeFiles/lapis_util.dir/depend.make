@@ -1,0 +1,2 @@
+# Empty dependencies file for lapis_util.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_synth_test.dir/binary_synth_test.cc.o"
+  "CMakeFiles/binary_synth_test.dir/binary_synth_test.cc.o.d"
+  "binary_synth_test"
+  "binary_synth_test.pdb"
+  "binary_synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_pipeline_test.dir/db_pipeline_test.cc.o"
+  "CMakeFiles/db_pipeline_test.dir/db_pipeline_test.cc.o.d"
+  "db_pipeline_test"
+  "db_pipeline_test.pdb"
+  "db_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

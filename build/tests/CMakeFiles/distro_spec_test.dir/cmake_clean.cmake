@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distro_spec_test.dir/distro_spec_test.cc.o"
+  "CMakeFiles/distro_spec_test.dir/distro_spec_test.cc.o.d"
+  "distro_spec_test"
+  "distro_spec_test.pdb"
+  "distro_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distro_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_trace_test.dir/dynamic_trace_test.cc.o"
+  "CMakeFiles/dynamic_trace_test.dir/dynamic_trace_test.cc.o.d"
+  "dynamic_trace_test"
+  "dynamic_trace_test.pdb"
+  "dynamic_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/script_scanner_test.dir/script_scanner_test.cc.o"
+  "CMakeFiles/script_scanner_test.dir/script_scanner_test.cc.o.d"
+  "script_scanner_test"
+  "script_scanner_test.pdb"
+  "script_scanner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/script_scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_integration_test.dir/study_integration_test.cc.o"
+  "CMakeFiles/study_integration_test.dir/study_integration_test.cc.o.d"
+  "study_integration_test"
+  "study_integration_test.pdb"
+  "study_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/elf_test[1]_include.cmake")
+include("/root/repo/build/tests/disasm_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/package_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_tables_test[1]_include.cmake")
+include("/root/repo/build/tests/distro_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/binary_synth_test[1]_include.cmake")
+include("/root/repo/build/tests/study_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/db_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/format_report_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_io_test[1]_include.cmake")
+include("/root/repo/build/tests/script_scanner_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/seccomp_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapis_study.dir/lapis_study.cc.o"
+  "CMakeFiles/lapis_study.dir/lapis_study.cc.o.d"
+  "lapis_study"
+  "lapis_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapis_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
