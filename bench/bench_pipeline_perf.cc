@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <memory>
+#include <vector>
 
 #include "src/analysis/binary_analyzer.h"
 #include "src/analysis/library_resolver.h"
@@ -17,6 +19,7 @@
 #include "src/db/transitive_closure.h"
 #include "src/disasm/decoder.h"
 #include "src/elf/elf_reader.h"
+#include "src/runtime/executor.h"
 
 namespace lapis {
 namespace {
@@ -156,6 +159,92 @@ void BM_DbTransitiveAggregation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DbTransitiveAggregation);
+
+// End-to-end study at a reduced scale, parameterized by worker count
+// (argument 0 = runtime::DefaultJobs, i.e. all cores). Exports are
+// byte-identical across arguments; only wall time may differ.
+void BM_StudyPipelineJobs(benchmark::State& state) {
+  corpus::StudyOptions options;
+  options.distro.app_package_count = 400;
+  options.distro.script_package_count = 40;
+  options.distro.data_package_count = 10;
+  options.distro.installation_count = 5000;
+  options.jobs = static_cast<size_t>(state.range(0));
+  double tasks = 0.0;
+  double steals = 0.0;
+  size_t threads = 1;
+  for (auto _ : state) {
+    auto study = corpus::RunStudy(options);
+    if (!study.ok()) {
+      state.SkipWithError(study.status().ToString().c_str());
+      break;
+    }
+    tasks += static_cast<double>(study.value().executor_stats.tasks_executed);
+    steals += static_cast<double>(study.value().executor_stats.steals);
+    threads = study.value().jobs_used;
+    benchmark::DoNotOptimize(study.value().analyzed_binaries);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["tasks"] =
+      benchmark::Counter(tasks, benchmark::Counter::kAvgIterations);
+  state.counters["steals"] =
+      benchmark::Counter(steals, benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_StudyPipelineJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// The db closure aggregation alone, sequential vs level-parallel on a pool.
+void BM_DbTransitiveAggregationJobs(benchmark::State& state) {
+  const auto& dataset = *PerfStudy().dataset;
+  size_t jobs = static_cast<size_t>(state.range(0));
+  runtime::Executor executor(jobs);
+  for (auto _ : state) {
+    db::TransitiveAggregator aggregator(
+        static_cast<uint32_t>(dataset.package_count()));
+    for (uint32_t pkg = 0; pkg < dataset.package_count(); ++pkg) {
+      for (const auto& api : dataset.Footprint(pkg)) {
+        (void)aggregator.AddFact(pkg, api.Encode());
+      }
+      for (uint32_t dep : dataset.DependencyClosure(pkg)) {
+        if (dep != pkg) {
+          (void)aggregator.AddEdge(pkg, dep);
+        }
+      }
+    }
+    auto closure = aggregator.Aggregate(&executor);
+    benchmark::DoNotOptimize(closure.size());
+  }
+  state.counters["threads"] = static_cast<double>(executor.thread_count());
+}
+BENCHMARK(BM_DbTransitiveAggregationJobs)->Arg(1)->Arg(0);
+
+// Raw executor overhead: ParallelFor over a counter increment, per element.
+void BM_ExecutorParallelFor(benchmark::State& state) {
+  runtime::Executor executor(static_cast<size_t>(state.range(0)));
+  constexpr size_t kElements = 1 << 16;
+  std::vector<uint32_t> data(kElements, 1);
+  for (auto _ : state) {
+    std::atomic<uint64_t> sum{0};
+    executor.ParallelFor(0, kElements, 0,
+                         [&data, &sum](size_t begin, size_t end) {
+                           uint64_t local = 0;
+                           for (size_t i = begin; i < end; ++i) {
+                             local += data[i];
+                           }
+                           sum.fetch_add(local, std::memory_order_relaxed);
+                         });
+    if (sum.load() != kElements) {
+      state.SkipWithError("parallel_for dropped elements");
+      break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kElements));
+}
+BENCHMARK(BM_ExecutorParallelFor)->Arg(1)->Arg(0);
 
 void BM_PopconSimulation(benchmark::State& state) {
   const auto& spec = Spec();

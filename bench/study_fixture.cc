@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/util/env.h"
 #include "src/util/strings.h"
 
 namespace lapis::bench {
@@ -12,23 +13,16 @@ namespace {
 
 double g_study_seconds = 0.0;
 
-size_t EnvSize(const char* name, size_t fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr) {
-    return fallback;
-  }
-  long parsed = std::atol(value);
-  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
-}
-
 }  // namespace
 
 corpus::StudyOptions BenchStudyOptions() {
   corpus::StudyOptions options;
-  options.distro.app_package_count = EnvSize("LAPIS_BENCH_APPS", 3000);
+  options.distro.app_package_count = EnvSizeOr("LAPIS_BENCH_APPS", 3000);
   options.distro.installation_count =
-      EnvSize("LAPIS_BENCH_INSTALLS", 100000);
-  options.popcon_retain_samples = EnvSize("LAPIS_BENCH_SAMPLES", 0);
+      EnvSizeOr("LAPIS_BENCH_INSTALLS", 100000);
+  options.popcon_retain_samples = EnvSizeOr("LAPIS_BENCH_SAMPLES", 0);
+  // 0 = all cores (runtime::DefaultJobs); 1 pins the sequential path.
+  options.jobs = EnvSizeOr("LAPIS_BENCH_JOBS", 0);
   return options;
 }
 
@@ -55,10 +49,17 @@ void PrintStudyBanner(const std::string& title) {
   std::printf("==============================================================\n");
   std::printf(
       "synthetic distribution: %zu packages, %zu ELF binaries analyzed "
-      "(%.1fs), %s simulated installations, ground-truth mismatches: %zu\n\n",
+      "(%.1fs), %s simulated installations, ground-truth mismatches: %zu\n",
       study.spec.packages.size(), study.analyzed_binaries, g_study_seconds,
       FormatWithCommas(study.survey.total_reporting).c_str(),
       study.ground_truth_mismatches);
+  std::printf(
+      "pipeline: %zu worker thread(s), %zu tasks executed, %zu steals, "
+      "max queue depth %zu, %.1fs wall / %.1fs cpu across stages\n\n",
+      study.jobs_used, study.executor_stats.tasks_executed,
+      study.executor_stats.steals, study.executor_stats.max_queue_depth,
+      study.pipeline_stats.TotalWallSeconds(),
+      study.pipeline_stats.TotalCpuSeconds());
 }
 
 std::string Pct(double fraction, int decimals) {

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "src/disasm/decoder.h"
+#include "src/runtime/parallel.h"
 #include "src/util/strings.h"
 
 namespace lapis::analysis {
@@ -99,14 +100,34 @@ BinaryAnalysis::ReachableResult BinaryAnalysis::FromEntry() const {
 
 std::map<std::string, BinaryAnalysis::ReachableResult>
 BinaryAnalysis::PerExportReachable() const {
+  return PerExportReachable(nullptr);
+}
+
+std::map<std::string, BinaryAnalysis::ReachableResult>
+BinaryAnalysis::PerExportReachable(runtime::Executor* executor) const {
+  // Shard per export, then merge in canonical (export-list) order so the
+  // result is independent of scheduling; duplicate export names keep
+  // first-shard-wins semantics just like the sequential emplace loop.
+  struct Shard {
+    bool valid = false;
+    ReachableResult reach;
+  };
+  std::vector<Shard> shards = runtime::ParallelMap(
+      executor, exports_.size(), [this](size_t i) {
+        Shard shard;
+        const FunctionInfo* fn = FunctionNamed(exports_[i]);
+        if (fn != nullptr) {
+          shard.valid = true;
+          shard.reach = Reachable({fn->vaddr});
+        }
+        return shard;
+      });
   std::map<std::string, ReachableResult> out;
-  for (const auto& name : exports_) {
-    const FunctionInfo* fn = FunctionNamed(name);
-    if (fn == nullptr) {
-      continue;
+  runtime::FoldInOrder(shards, [&](size_t i, Shard& shard) {
+    if (shard.valid) {
+      out.emplace(exports_[i], std::move(shard.reach));
     }
-    out.emplace(name, Reachable({fn->vaddr}));
-  }
+  });
   return out;
 }
 

@@ -27,6 +27,10 @@
 #include "src/elf/elf_image.h"
 #include "src/util/status.h"
 
+namespace lapis::runtime {
+class Executor;
+}  // namespace lapis::runtime
+
 namespace lapis::analysis {
 
 // Analysis result for one function.
@@ -67,8 +71,12 @@ class BinaryAnalysis {
   ReachableResult FromEntry() const;
 
   // For a shared library: per exported function, its within-library
-  // reachable result. Exported names map to dynsym definitions.
+  // reachable result. Exported names map to dynsym definitions. With an
+  // executor, per-export reachability fans out across worker shards; the
+  // result map is identical at any thread count (merged in export order).
   std::map<std::string, ReachableResult> PerExportReachable() const;
+  std::map<std::string, ReachableResult> PerExportReachable(
+      runtime::Executor* executor) const;
 
   // Names exported via .dynsym (defined global functions).
   const std::vector<std::string>& exports() const { return exports_; }

@@ -19,7 +19,7 @@ int64_t Encode(int64_t tag, uint32_t value) {
 
 }  // namespace
 
-DbPipeline::DbPipeline() {
+DbPipeline::DbPipeline(runtime::Executor* executor) : executor_(executor) {
   functions_ = database_
                    .CreateTable("functions",
                                 {{"node", db::ColumnType::kInt64},
@@ -155,7 +155,7 @@ Status DbPipeline::Aggregate() {
         static_cast<uint32_t>(facts_->GetInt(row, 0)),
         facts_->GetInt(row, 1)));
   }
-  closure_ = aggregator.Aggregate();
+  closure_ = aggregator.Aggregate(executor_);
   aggregated_ = true;
   return Status::Ok();
 }

@@ -23,7 +23,9 @@ namespace lapis::analysis {
 
 class DbPipeline {
  public:
-  DbPipeline();
+  // With an executor, the closure aggregation runs its SCC levels in
+  // parallel; footprints are identical at any thread count.
+  explicit DbPipeline(runtime::Executor* executor = nullptr);
 
   // Loads one analyzed binary under `binary_name` (executable name or
   // library soname). Library exports become linkable symbols; first
@@ -44,6 +46,7 @@ class DbPipeline {
   int64_t EncodeOp(int family, uint32_t op) const;
   int64_t EncodePath(const std::string& path);
 
+  runtime::Executor* executor_ = nullptr;
   db::Database database_;
   db::Table* functions_;  // node, binary, vaddr, name
   db::Table* calls_;      // src node, dst node (intra-binary)

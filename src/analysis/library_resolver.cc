@@ -18,7 +18,7 @@ Status LibraryResolver::AddLibrary(
   }
   LibEntry entry;
   entry.analysis = library;
-  entry.export_reach = library->PerExportReachable();
+  entry.export_reach = library->PerExportReachable(executor_);
   for (const auto& [symbol, reach] : entry.export_reach) {
     symbol_to_soname_.emplace(symbol, soname);  // first wins
   }

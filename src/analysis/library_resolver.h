@@ -27,6 +27,14 @@ namespace lapis::analysis {
 
 class LibraryResolver {
  public:
+  // With an executor, AddLibrary fans per-export reachability out across
+  // worker shards (libc registers 1,274 exports); resolution results are
+  // identical either way. Registration itself stays single-threaded; the
+  // const Resolve* methods are safe to call concurrently once every
+  // library is registered.
+  explicit LibraryResolver(runtime::Executor* executor = nullptr)
+      : executor_(executor) {}
+
   // Registers an analyzed shared library under its soname; precomputes and
   // memoizes per-export reachability. First registration of a symbol wins
   // (mirrors linker search order).
@@ -70,6 +78,7 @@ class LibraryResolver {
   void Expand(const std::set<std::string>& initial_symbols,
               Resolution& resolution) const;
 
+  runtime::Executor* executor_ = nullptr;
   std::map<std::string, LibEntry> libraries_;  // by soname
   std::vector<std::string> sonames_;
   std::map<std::string, std::string> symbol_to_soname_;

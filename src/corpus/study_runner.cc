@@ -1,6 +1,7 @@
 #include "src/corpus/study_runner.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "src/analysis/binary_analyzer.h"
 #include "src/analysis/library_resolver.h"
@@ -8,6 +9,7 @@
 #include "src/corpus/api_universe.h"
 #include "src/corpus/syscall_table.h"
 #include "src/elf/elf_reader.h"
+#include "src/runtime/parallel.h"
 
 namespace lapis::corpus {
 
@@ -17,19 +19,80 @@ using analysis::BinaryAnalysis;
 using analysis::BinaryAnalyzer;
 using analysis::LibraryResolver;
 
-// Analyzes one synthesized binary and registers libraries with the resolver.
-Result<std::shared_ptr<const BinaryAnalysis>> AnalyzeBinary(
-    const SynthesizedBinary& binary, LibraryResolver& resolver,
-    StudyResult& result) {
-  LAPIS_ASSIGN_OR_RETURN(auto image, elf::ElfReader::Parse(binary.bytes));
-  LAPIS_ASSIGN_OR_RETURN(auto analysis, BinaryAnalyzer::Analyze(image));
-  auto shared = std::make_shared<BinaryAnalysis>(std::move(analysis));
+// One synthesized binary after the per-binary analysis fan-out. The raw
+// ELF bytes are dropped inside the worker shard; only the analysis
+// (everything downstream needs) survives.
+struct AnalyzedBinary {
+  std::string name;
+  bool is_library = false;
+  bool is_static = false;
+  std::shared_ptr<const BinaryAnalysis> analysis;
+};
+
+// Shard result of the synthesize+analyze stage for one package.
+struct PackageAnalysis {
+  Status status;  // first synthesis/parse/analysis error, if any
+  std::vector<AnalyzedBinary> binaries;
+};
+
+// Shard result of the footprint-resolution stage for one package: one
+// resolution per non-library binary, in package binary order.
+struct PackageResolution {
+  std::vector<LibraryResolver::Resolution> resolutions;
+};
+
+// Shard result of the script-classification stage for one package.
+struct PackageScripts {
+  Status status;
+  std::map<package::ProgramKind, size_t> kinds;
+};
+
+// Synthesizes and analyzes every ELF binary of one package. Pure: touches
+// only the (const) synthesizer and its own shard — safe on any worker.
+PackageAnalysis AnalyzePackage(const DistroSynthesizer& synthesizer,
+                               const DistroSpec& spec, size_t pkg) {
+  PackageAnalysis out;
+  const PackagePlan& plan = spec.packages[pkg];
+  if (plan.data_only || !plan.interpreter_package.empty()) {
+    return out;  // scripts and data ship no ELF binaries
+  }
+  auto binaries = synthesizer.PackageBinaries(pkg);
+  if (!binaries.ok()) {
+    out.status = binaries.status();
+    return out;
+  }
+  for (auto& binary : binaries.value()) {
+    auto image = elf::ElfReader::Parse(binary.bytes);
+    if (!image.ok()) {
+      out.status = image.status();
+      return out;
+    }
+    auto analysis = BinaryAnalyzer::Analyze(image.value());
+    if (!analysis.ok()) {
+      out.status = analysis.status();
+      return out;
+    }
+    AnalyzedBinary analyzed;
+    analyzed.name = std::move(binary.name);
+    analyzed.is_library = binary.is_library;
+    analyzed.is_static = binary.is_static;
+    analyzed.analysis =
+        std::make_shared<BinaryAnalysis>(analysis.take());
+    out.binaries.push_back(std::move(analyzed));
+  }
+  return out;
+}
+
+// Folds one analyzed binary's counters into the study result — called in
+// canonical (package, binary) order only, never from a worker.
+void FoldBinaryCounters(const AnalyzedBinary& binary, StudyResult& result) {
+  const BinaryAnalysis& analysis = *binary.analysis;
   ++result.analyzed_binaries;
-  result.total_syscall_sites += shared->total_syscall_sites;
-  result.unknown_syscall_sites += shared->unknown_syscall_sites;
+  result.total_syscall_sites += analysis.total_syscall_sites;
+  result.unknown_syscall_sites += analysis.unknown_syscall_sites;
 
   // Site attribution: which binary's own code issues which syscall.
-  for (const auto& fn : shared->functions()) {
+  for (const auto& fn : analysis.functions()) {
     for (int nr : fn.local.syscalls) {
       result.syscall_site_binaries[nr].insert(binary.name);
     }
@@ -37,10 +100,6 @@ Result<std::shared_ptr<const BinaryAnalysis>> AnalyzeBinary(
     result.int80_numbers.insert(fn.local.int80_syscalls.begin(),
                                 fn.local.int80_syscalls.end());
   }
-  if (binary.is_library) {
-    LAPIS_RETURN_IF_ERROR(resolver.AddLibrary(shared));
-  }
-  return std::shared_ptr<const BinaryAnalysis>(shared);
 }
 
 // Converts a resolved footprint + used exports into dataset ApiIds.
@@ -88,8 +147,22 @@ StudyOptions SmallStudyOptions() {
 }
 
 Result<StudyResult> RunStudy(const StudyOptions& options) {
+  std::unique_ptr<runtime::Executor> owned_executor;
+  runtime::Executor* executor = options.executor;
+  if (executor == nullptr) {
+    owned_executor = std::make_unique<runtime::Executor>(options.jobs);
+    executor = owned_executor.get();
+  }
+
   StudyResult result;
-  LAPIS_ASSIGN_OR_RETURN(result.spec, BuildDistroSpec(options.distro));
+  result.jobs_used = executor->thread_count();
+  runtime::PipelineStats& stats = result.pipeline_stats;
+
+  {
+    runtime::StageTimer timer(&stats, "plan");
+    LAPIS_ASSIGN_OR_RETURN(result.spec, BuildDistroSpec(options.distro));
+    timer.AddItems(result.spec.packages.size());
+  }
   DistroSynthesizer synthesizer(result.spec);
   LAPIS_ASSIGN_OR_RETURN(result.repository, synthesizer.BuildRepository());
 
@@ -102,80 +175,175 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
     result.path_interner.Intern(file.path);
   }
 
-  // ---- Core libraries ----
-  LibraryResolver resolver;
-  LAPIS_ASSIGN_OR_RETURN(auto core_libs, synthesizer.CoreLibraries());
-  for (const auto& binary : core_libs) {
-    LAPIS_ASSIGN_OR_RETURN(auto analysis,
-                           AnalyzeBinary(binary, resolver, result));
-    result.binary_stats.elf_shared_libraries += 1;
-    if (binary.name == kLibcSoname) {
-      // Record measured per-symbol sizes for the §3.5 analysis.
-      for (const auto& fn : analysis->functions()) {
-        uint32_t id = result.libc_interner.Find(fn.name);
-        if (id != UINT32_MAX) {
-          result.libc_symbol_sizes[id] = fn.size;
+  // ---- Core libraries: analyze shards in parallel, register in order ----
+  LibraryResolver resolver(executor);
+  {
+    runtime::StageTimer timer(&stats, "core-libs");
+    LAPIS_ASSIGN_OR_RETURN(auto core_libs, synthesizer.CoreLibraries());
+    struct CoreShard {
+      Status status;
+      std::shared_ptr<const BinaryAnalysis> analysis;
+    };
+    auto shards = runtime::ParallelMap(
+        executor, core_libs.size(), [&core_libs](size_t i) {
+          CoreShard shard;
+          auto image = elf::ElfReader::Parse(core_libs[i].bytes);
+          if (!image.ok()) {
+            shard.status = image.status();
+            return shard;
+          }
+          auto analysis = BinaryAnalyzer::Analyze(image.value());
+          if (!analysis.ok()) {
+            shard.status = analysis.status();
+            return shard;
+          }
+          shard.analysis =
+              std::make_shared<BinaryAnalysis>(analysis.take());
+          return shard;
+        });
+    for (size_t i = 0; i < shards.size(); ++i) {
+      LAPIS_RETURN_IF_ERROR(shards[i].status);
+      AnalyzedBinary analyzed;
+      analyzed.name = core_libs[i].name;
+      analyzed.is_library = true;
+      analyzed.analysis = shards[i].analysis;
+      FoldBinaryCounters(analyzed, result);
+      LAPIS_RETURN_IF_ERROR(resolver.AddLibrary(shards[i].analysis));
+      result.binary_stats.elf_shared_libraries += 1;
+      if (core_libs[i].name == kLibcSoname) {
+        // Record measured per-symbol sizes for the §3.5 analysis.
+        for (const auto& fn : shards[i].analysis->functions()) {
+          uint32_t id = result.libc_interner.Find(fn.name);
+          if (id != UINT32_MAX) {
+            result.libc_symbol_sizes[id] = fn.size;
+          }
         }
       }
     }
+    timer.AddItems(core_libs.size());
   }
 
-  // ---- Packages: synthesize, analyze, resolve ----
+  // ---- Packages, stage 1: synthesize + analyze on worker shards ----
   const size_t package_count = result.spec.packages.size();
+  std::vector<PackageAnalysis> analyzed;
+  {
+    runtime::StageTimer timer(&stats, "synthesize+analyze");
+    analyzed = runtime::ParallelMap(
+        executor, package_count, [&synthesizer, &result](size_t pkg) {
+          return AnalyzePackage(synthesizer, result.spec, pkg);
+        });
+    for (const auto& shard : analyzed) {
+      timer.AddItems(shard.binaries.size());
+    }
+  }
+
+  // ---- Packages, stage 2: deterministic merge — counters + library
+  // registration in canonical package order ----
+  {
+    runtime::StageTimer timer(&stats, "register");
+    for (size_t pkg = 0; pkg < package_count; ++pkg) {
+      LAPIS_RETURN_IF_ERROR(analyzed[pkg].status);
+      for (const auto& binary : analyzed[pkg].binaries) {
+        FoldBinaryCounters(binary, result);
+        if (binary.is_library) {
+          LAPIS_RETURN_IF_ERROR(resolver.AddLibrary(binary.analysis));
+          result.binary_stats.elf_shared_libraries += 1;
+        } else if (binary.is_static) {
+          result.binary_stats.elf_static += 1;
+        } else {
+          result.binary_stats.elf_executables += 1;
+        }
+      }
+    }
+    timer.AddItems(package_count);
+  }
+
+  // ---- Packages, stage 3: resolve executable footprints in parallel.
+  // The resolver is fully built and read-only now, so its const fixpoint
+  // expansion is safe from any shard. ----
+  std::vector<PackageResolution> resolved;
+  {
+    runtime::StageTimer timer(&stats, "resolve");
+    resolved = runtime::ParallelMap(
+        executor, package_count, [&analyzed, &resolver](size_t pkg) {
+          PackageResolution out;
+          for (const auto& binary : analyzed[pkg].binaries) {
+            if (binary.is_library) {
+              continue;
+            }
+            out.resolutions.push_back(
+                resolver.ResolveExecutable(*binary.analysis));
+          }
+          return out;
+        });
+    for (const auto& shard : resolved) {
+      timer.AddItems(shard.resolutions.size());
+    }
+  }
+
+  // ---- Packages, stage 4: deterministic merge into footprints (the
+  // interners mutate, so this stays in canonical order) ----
   std::vector<std::vector<core::ApiId>> footprints(package_count);
   std::vector<std::set<int>> recovered_syscalls(package_count);
-
-  for (size_t pkg = 0; pkg < package_count; ++pkg) {
-    const PackagePlan& plan = result.spec.packages[pkg];
-    if (plan.data_only || !plan.interpreter_package.empty()) {
-      continue;  // handled below
-    }
-    LAPIS_ASSIGN_OR_RETURN(auto binaries, synthesizer.PackageBinaries(pkg));
-    std::set<std::string> package_paths;
-    for (const auto& binary : binaries) {
-      LAPIS_ASSIGN_OR_RETURN(auto analysis,
-                             AnalyzeBinary(binary, resolver, result));
-      if (binary.is_library) {
-        result.binary_stats.elf_shared_libraries += 1;
-        continue;
+  {
+    runtime::StageTimer timer(&stats, "join");
+    for (size_t pkg = 0; pkg < package_count; ++pkg) {
+      std::set<std::string> package_paths;
+      for (const auto& resolution : resolved[pkg].resolutions) {
+        auto ids = ToApiIds(resolution, result.path_interner,
+                            result.libc_interner);
+        footprints[pkg].insert(footprints[pkg].end(), ids.begin(),
+                               ids.end());
+        recovered_syscalls[pkg].insert(resolution.footprint.syscalls.begin(),
+                                       resolution.footprint.syscalls.end());
+        for (const auto& path : resolution.footprint.pseudo_paths) {
+          package_paths.insert(path);
+        }
       }
-      if (binary.is_static) {
-        result.binary_stats.elf_static += 1;
-      } else {
-        result.binary_stats.elf_executables += 1;
-      }
-      LibraryResolver::Resolution resolution =
-          resolver.ResolveExecutable(*analysis);
-      auto ids = ToApiIds(resolution, result.path_interner,
-                          result.libc_interner);
-      footprints[pkg].insert(footprints[pkg].end(), ids.begin(), ids.end());
-      recovered_syscalls[pkg].insert(resolution.footprint.syscalls.begin(),
-                                     resolution.footprint.syscalls.end());
-      for (const auto& path : resolution.footprint.pseudo_paths) {
-        package_paths.insert(path);
+      for (const auto& path : package_paths) {
+        ++result.pseudo_path_binary_counts[path];
       }
     }
-    for (const auto& path : package_paths) {
-      ++result.pseudo_path_binary_counts[path];
-    }
+    timer.AddItems(package_count);
   }
+  analyzed.clear();
+  resolved.clear();
 
   // Script packages inherit the interpreter's footprint (§2.3
   // over-approximation); data packages stay empty. The Fig 1 breakdown is
   // measured by scanning the synthesized script files' shebangs, not by
   // trusting the plan.
-  for (size_t pkg = 0; pkg < package_count; ++pkg) {
-    const PackagePlan& plan = result.spec.packages[pkg];
-    if (plan.script_count > 0) {
-      LAPIS_ASSIGN_OR_RETURN(auto scripts,
-                             synthesizer.PackageScripts(pkg));
-      for (const auto& script : scripts) {
-        auto info = analysis::ClassifyScript(script.contents);
-        if (info.ok()) {
-          ++result.binary_stats.script_programs[info.value().kind];
-        }
+  {
+    runtime::StageTimer timer(&stats, "scripts");
+    auto script_shards = runtime::ParallelMap(
+        executor, package_count, [&synthesizer, &result](size_t pkg) {
+          PackageScripts out;
+          if (result.spec.packages[pkg].script_count <= 0) {
+            return out;
+          }
+          auto scripts = synthesizer.PackageScripts(pkg);
+          if (!scripts.ok()) {
+            out.status = scripts.status();
+            return out;
+          }
+          for (const auto& script : scripts.value()) {
+            auto info = analysis::ClassifyScript(script.contents);
+            if (info.ok()) {
+              ++out.kinds[info.value().kind];
+            }
+          }
+          return out;
+        });
+    for (size_t pkg = 0; pkg < package_count; ++pkg) {
+      LAPIS_RETURN_IF_ERROR(script_shards[pkg].status);
+      for (const auto& [kind, count] : script_shards[pkg].kinds) {
+        result.binary_stats.script_programs[kind] += count;
+        timer.AddItems(count);
       }
     }
+  }
+  for (size_t pkg = 0; pkg < package_count; ++pkg) {
+    const PackagePlan& plan = result.spec.packages[pkg];
     if (plan.interpreter_package.empty()) {
       continue;
     }
@@ -188,54 +356,71 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
 
   // ---- Ground-truth verification ----
   if (options.verify_ground_truth) {
-    for (size_t pkg = 0; pkg < package_count; ++pkg) {
-      std::set<int> expected = result.spec.ExpectedSyscalls(pkg);
-      if (expected != recovered_syscalls[pkg]) {
-        ++result.ground_truth_mismatches;
-      }
+    runtime::StageTimer timer(&stats, "ground-truth");
+    auto mismatches = runtime::ParallelMap(
+        executor, package_count,
+        [&result, &recovered_syscalls](size_t pkg) -> uint8_t {
+          return result.spec.ExpectedSyscalls(pkg) !=
+                         recovered_syscalls[pkg]
+                     ? 1
+                     : 0;
+        });
+    for (uint8_t mismatch : mismatches) {
+      result.ground_truth_mismatches += mismatch;
     }
+    timer.AddItems(package_count);
   }
 
   // ---- Popularity-contest survey ----
-  std::vector<double> marginals;
-  marginals.reserve(package_count);
-  for (const auto& plan : result.spec.packages) {
-    marginals.push_back(plan.target_marginal);
+  {
+    runtime::StageTimer timer(&stats, "popcon");
+    std::vector<double> marginals;
+    marginals.reserve(package_count);
+    for (const auto& plan : result.spec.packages) {
+      marginals.push_back(plan.target_marginal);
+    }
+    package::PopconOptions popcon;
+    popcon.installation_count = options.distro.installation_count;
+    popcon.report_rate = options.distro.popcon_report_rate;
+    popcon.retain_samples = options.popcon_retain_samples;
+    popcon.profile_count = options.popcon_profile_count;
+    popcon.profile_boost = options.popcon_profile_boost;
+    popcon.seed = options.distro.seed ^ 0x9e3779b97f4a7c15ULL;
+    LAPIS_ASSIGN_OR_RETURN(
+        result.survey,
+        package::PopconSimulator::Run(result.repository, marginals, popcon));
+    timer.AddItems(options.distro.installation_count);
   }
-  package::PopconOptions popcon;
-  popcon.installation_count = options.distro.installation_count;
-  popcon.report_rate = options.distro.popcon_report_rate;
-  popcon.retain_samples = options.popcon_retain_samples;
-  popcon.profile_count = options.popcon_profile_count;
-  popcon.profile_boost = options.popcon_profile_boost;
-  popcon.seed = options.distro.seed ^ 0x9e3779b97f4a7c15ULL;
-  LAPIS_ASSIGN_OR_RETURN(
-      result.survey,
-      package::PopconSimulator::Run(result.repository, marginals, popcon));
 
   // ---- Dataset assembly ----
-  result.dataset = std::make_unique<core::StudyDataset>(
-      package_count, result.survey.total_reporting);
-  for (size_t pkg = 0; pkg < package_count; ++pkg) {
-    const PackagePlan& plan = result.spec.packages[pkg];
-    LAPIS_RETURN_IF_ERROR(
-        result.dataset->SetPackageName(static_cast<uint32_t>(pkg),
-                                       plan.name));
-    LAPIS_RETURN_IF_ERROR(result.dataset->SetInstallCount(
-        static_cast<uint32_t>(pkg), result.survey.install_counts[pkg]));
-    LAPIS_RETURN_IF_ERROR(result.dataset->SetFootprint(
-        static_cast<uint32_t>(pkg), footprints[pkg]));
-    const package::Package& pkg_meta =
-        result.repository.package(static_cast<package::PackageId>(pkg));
-    std::vector<core::PackageId> deps(pkg_meta.depends.begin(),
-                                      pkg_meta.depends.end());
-    if (pkg_meta.interpreter != package::kInvalidPackage) {
-      deps.push_back(pkg_meta.interpreter);
+  {
+    runtime::StageTimer timer(&stats, "dataset");
+    result.dataset = std::make_unique<core::StudyDataset>(
+        package_count, result.survey.total_reporting);
+    for (size_t pkg = 0; pkg < package_count; ++pkg) {
+      const PackagePlan& plan = result.spec.packages[pkg];
+      LAPIS_RETURN_IF_ERROR(
+          result.dataset->SetPackageName(static_cast<uint32_t>(pkg),
+                                         plan.name));
+      LAPIS_RETURN_IF_ERROR(result.dataset->SetInstallCount(
+          static_cast<uint32_t>(pkg), result.survey.install_counts[pkg]));
+      LAPIS_RETURN_IF_ERROR(result.dataset->SetFootprint(
+          static_cast<uint32_t>(pkg), footprints[pkg]));
+      const package::Package& pkg_meta =
+          result.repository.package(static_cast<package::PackageId>(pkg));
+      std::vector<core::PackageId> deps(pkg_meta.depends.begin(),
+                                        pkg_meta.depends.end());
+      if (pkg_meta.interpreter != package::kInvalidPackage) {
+        deps.push_back(pkg_meta.interpreter);
+      }
+      LAPIS_RETURN_IF_ERROR(result.dataset->SetDependencies(
+          static_cast<uint32_t>(pkg), std::move(deps)));
     }
-    LAPIS_RETURN_IF_ERROR(result.dataset->SetDependencies(
-        static_cast<uint32_t>(pkg), std::move(deps)));
+    LAPIS_RETURN_IF_ERROR(result.dataset->Finalize());
+    timer.AddItems(package_count);
   }
-  LAPIS_RETURN_IF_ERROR(result.dataset->Finalize());
+
+  result.executor_stats = executor->stats();
   return result;
 }
 

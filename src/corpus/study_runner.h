@@ -28,6 +28,8 @@
 #include "src/corpus/distro_spec.h"
 #include "src/package/popcon.h"
 #include "src/package/repository.h"
+#include "src/runtime/executor.h"
+#include "src/runtime/stage_stats.h"
 #include "src/util/status.h"
 
 namespace lapis::corpus {
@@ -41,6 +43,12 @@ struct StudyOptions {
   // Install-profile correlation (see package::PopconOptions); 0 = off.
   uint32_t popcon_profile_count = 0;
   double popcon_profile_boost = 3.0;
+  // Worker threads for the pipeline: 0 = runtime::DefaultJobs(),
+  // 1 = fully sequential (no threads spawned). Dataset exports are
+  // byte-identical at every jobs value.
+  size_t jobs = 0;
+  // Run on an existing pool instead of creating one (overrides `jobs`).
+  runtime::Executor* executor = nullptr;
 };
 
 struct BinaryStats {
@@ -85,6 +93,12 @@ struct StudyResult {
 
   // Per-package binary counts with hard-coded pseudo paths (Fig 6 counts).
   std::map<std::string, size_t> pseudo_path_binary_counts;
+
+  // Parallel-pipeline accounting: wall/CPU per stage, plus the executor's
+  // task/steal counters for the run.
+  runtime::PipelineStats pipeline_stats;
+  runtime::ExecutorStats executor_stats;
+  size_t jobs_used = 1;
 };
 
 Result<StudyResult> RunStudy(const StudyOptions& options);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/runtime/executor.h"
+
 namespace lapis::db {
 
 TransitiveAggregator::TransitiveAggregator(uint32_t node_count)
@@ -88,7 +90,13 @@ void TarjanFrom(uint32_t root, const std::vector<std::vector<uint32_t>>& adj,
 }  // namespace
 
 std::vector<std::vector<int64_t>> TransitiveAggregator::Aggregate() const {
-  // 1. Condense into SCCs.
+  return Aggregate(nullptr);
+}
+
+std::vector<std::vector<int64_t>> TransitiveAggregator::Aggregate(
+    runtime::Executor* executor) const {
+  // 1. Condense into SCCs (inherently sequential; cheap relative to the
+  // merge work below).
   TarjanState s;
   s.index.assign(node_count_, UINT32_MAX);
   s.lowlink.assign(node_count_, 0);
@@ -102,8 +110,7 @@ std::vector<std::vector<int64_t>> TransitiveAggregator::Aggregate() const {
   const uint32_t scc_count = s.component_count;
 
   // 2. Gather facts per SCC; build condensed edges. Tarjan numbers SCCs in
-  // reverse topological order (all successors of C have smaller ids), so a
-  // single ascending pass propagates complete closures.
+  // reverse topological order (all successors of C have smaller ids).
   std::vector<std::vector<int64_t>> scc_facts(scc_count);
   for (uint32_t v = 0; v < node_count_; ++v) {
     auto& dst = scc_facts[static_cast<uint32_t>(s.component[v])];
@@ -119,15 +126,34 @@ std::vector<std::vector<int64_t>> TransitiveAggregator::Aggregate() const {
       }
     }
   }
+  for (auto& edges : scc_edges) {
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
 
-  // 3. Propagate: ascending SCC id visits successors first.
-  std::vector<std::vector<int64_t>> scc_closure(scc_count);
+  // 3. Topological levels over the condensation: an SCC's level is one
+  // past its deepest successor, so every SCC only depends on lower levels.
+  // Successors have smaller ids, so one ascending pass suffices.
+  std::vector<uint32_t> level(scc_count, 0);
+  uint32_t level_count = 0;
   for (uint32_t c = 0; c < scc_count; ++c) {
+    for (uint32_t succ : scc_edges[c]) {
+      level[c] = std::max(level[c], level[succ] + 1);
+    }
+    level_count = std::max(level_count, level[c] + 1);
+  }
+  std::vector<std::vector<uint32_t>> by_level(level_count);
+  for (uint32_t c = 0; c < scc_count; ++c) {
+    by_level[level[c]].push_back(c);
+  }
+
+  // 4. Propagate level by level; SCCs within a level have no edges between
+  // each other, so they merge in parallel. Each SCC's closure is sorted
+  // and deduplicated on its own, making the result independent of the
+  // schedule (and of the thread count).
+  std::vector<std::vector<int64_t>> scc_closure(scc_count);
+  const auto merge_scc = [&](uint32_t c) {
     std::vector<int64_t> merged = scc_facts[c];
-    std::sort(scc_edges[c].begin(), scc_edges[c].end());
-    scc_edges[c].erase(
-        std::unique(scc_edges[c].begin(), scc_edges[c].end()),
-        scc_edges[c].end());
     for (uint32_t succ : scc_edges[c]) {
       merged.insert(merged.end(), scc_closure[succ].begin(),
                     scc_closure[succ].end());
@@ -135,12 +161,34 @@ std::vector<std::vector<int64_t>> TransitiveAggregator::Aggregate() const {
     std::sort(merged.begin(), merged.end());
     merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
     scc_closure[c] = std::move(merged);
+  };
+  for (const auto& members : by_level) {
+    if (executor == nullptr || executor->thread_count() <= 1 ||
+        members.size() <= 1) {
+      for (uint32_t c : members) {
+        merge_scc(c);
+      }
+    } else {
+      executor->ParallelFor(0, members.size(), 0,
+                            [&](size_t begin, size_t end) {
+                              for (size_t i = begin; i < end; ++i) {
+                                merge_scc(members[i]);
+                              }
+                            });
+    }
   }
 
-  // 4. Fan back out to nodes.
+  // 5. Fan back out to nodes.
   std::vector<std::vector<int64_t>> out(node_count_);
-  for (uint32_t v = 0; v < node_count_; ++v) {
-    out[v] = scc_closure[static_cast<uint32_t>(s.component[v])];
+  const auto fan_out = [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      out[v] = scc_closure[static_cast<uint32_t>(s.component[v])];
+    }
+  };
+  if (executor == nullptr || executor->thread_count() <= 1) {
+    fan_out(0, node_count_);
+  } else {
+    executor->ParallelFor(0, node_count_, 0, fan_out);
   }
   return out;
 }

@@ -16,6 +16,10 @@
 #include "src/db/table.h"
 #include "src/util/status.h"
 
+namespace lapis::runtime {
+class Executor;
+}  // namespace lapis::runtime
+
 namespace lapis::db {
 
 class TransitiveAggregator {
@@ -29,8 +33,14 @@ class TransitiveAggregator {
   Status AddFact(uint32_t node, int64_t fact);
 
   // Computes, for every node, the sorted, deduplicated union of facts over
-  // its forward transitive closure (including itself).
+  // its forward transitive closure (including itself). With an executor,
+  // SCC condensation levels are propagated in parallel (all SCCs of a
+  // topological level merge concurrently); each SCC's closure is sorted
+  // and deduplicated independently, so the output is bit-identical at any
+  // thread count.
   std::vector<std::vector<int64_t>> Aggregate() const;
+  std::vector<std::vector<int64_t>> Aggregate(
+      runtime::Executor* executor) const;
 
   // Convenience: builds the aggregator from two tables —
   //   edges(src:int, dst:int), facts(node:int, fact:int)

@@ -1,0 +1,80 @@
+#include "src/runtime/stage_stats.h"
+
+#include <chrono>
+#include <ctime>
+
+namespace lapis::runtime {
+
+void PipelineStats::Record(const std::string& stage, double wall_seconds,
+                           double cpu_seconds, uint64_t items) {
+  for (auto& [name, record] : stages_) {
+    if (name == stage) {
+      record.wall_seconds += wall_seconds;
+      record.cpu_seconds += cpu_seconds;
+      record.items += items;
+      ++record.calls;
+      return;
+    }
+  }
+  StageRecord record;
+  record.wall_seconds = wall_seconds;
+  record.cpu_seconds = cpu_seconds;
+  record.items = items;
+  record.calls = 1;
+  stages_.emplace_back(stage, record);
+}
+
+const StageRecord* PipelineStats::Find(std::string_view stage) const {
+  for (const auto& [name, record] : stages_) {
+    if (name == stage) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+double PipelineStats::TotalWallSeconds() const {
+  double total = 0.0;
+  for (const auto& [name, record] : stages_) {
+    total += record.wall_seconds;
+  }
+  return total;
+}
+
+double PipelineStats::TotalCpuSeconds() const {
+  double total = 0.0;
+  for (const auto& [name, record] : stages_) {
+    total += record.cpu_seconds;
+  }
+  return total;
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double ProcessCpuSeconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+StageTimer::StageTimer(PipelineStats* stats, std::string stage)
+    : stats_(stats),
+      stage_(std::move(stage)),
+      wall_start_(MonotonicSeconds()),
+      cpu_start_(ProcessCpuSeconds()) {}
+
+StageTimer::~StageTimer() {
+  if (stats_ != nullptr) {
+    stats_->Record(stage_, MonotonicSeconds() - wall_start_,
+                   ProcessCpuSeconds() - cpu_start_, items_);
+  }
+}
+
+}  // namespace lapis::runtime

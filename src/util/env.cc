@@ -1,0 +1,20 @@
+#include "src/util/env.h"
+
+#include <cstdlib>
+
+namespace lapis {
+
+size_t EnvSizeOr(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || parsed <= 0) {
+    return fallback;
+  }
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace lapis

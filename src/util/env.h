@@ -1,0 +1,16 @@
+// Environment-variable helpers shared by the tools, benches, and runtime.
+
+#ifndef LAPIS_SRC_UTIL_ENV_H_
+#define LAPIS_SRC_UTIL_ENV_H_
+
+#include <cstddef>
+
+namespace lapis {
+
+// Parses environment variable `name` as a positive size; returns `fallback`
+// when unset, empty, non-numeric, or non-positive.
+size_t EnvSizeOr(const char* name, size_t fallback);
+
+}  // namespace lapis
+
+#endif  // LAPIS_SRC_UTIL_ENV_H_

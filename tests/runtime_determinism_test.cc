@@ -1,0 +1,94 @@
+// The tentpole determinism guarantee: every study export is byte-identical
+// at --jobs=1, 2, and 8, across seeds. Scheduling may differ; output from
+// the ParallelMap + FoldInOrder reduction layer must not.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/corpus/study_runner.h"
+
+namespace lapis {
+namespace {
+
+struct Exports {
+  std::string importance;
+  std::string packages;
+  std::string footprints;
+  size_t analyzed_binaries = 0;
+  size_t ground_truth_mismatches = 0;
+  size_t jobs_used = 0;
+};
+
+Exports RunAndExport(uint64_t seed, size_t jobs) {
+  corpus::StudyOptions options = corpus::SmallStudyOptions();
+  options.distro.seed = seed;
+  options.jobs = jobs;
+  auto study = corpus::RunStudy(options);
+  EXPECT_TRUE(study.ok()) << study.status().ToString();
+  Exports out;
+  const auto& result = study.value();
+  out.analyzed_binaries = result.analyzed_binaries;
+  out.ground_truth_mismatches = result.ground_truth_mismatches;
+  out.jobs_used = result.jobs_used;
+
+  std::ostringstream importance;
+  EXPECT_TRUE(core::ExportImportanceTsv(
+                  *result.dataset,
+                  {core::ApiKind::kSyscall, core::ApiKind::kIoctlOp,
+                   core::ApiKind::kFcntlOp, core::ApiKind::kPrctlOp,
+                   core::ApiKind::kPseudoFile, core::ApiKind::kLibcFn},
+                  result.path_interner, result.libc_interner, importance)
+                  .ok());
+  out.importance = importance.str();
+
+  std::ostringstream packages;
+  EXPECT_TRUE(core::ExportPackagesTsv(*result.dataset, packages).ok());
+  out.packages = packages.str();
+
+  std::ostringstream footprints;
+  EXPECT_TRUE(core::ExportFootprintsTsv(*result.dataset,
+                                        result.path_interner,
+                                        result.libc_interner, footprints)
+                  .ok());
+  out.footprints = footprints.str();
+  return out;
+}
+
+class RuntimeDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RuntimeDeterminismTest, ExportsAreByteIdenticalAcrossJobCounts) {
+  const uint64_t seed = GetParam();
+  Exports sequential = RunAndExport(seed, 1);
+  ASSERT_EQ(sequential.jobs_used, 1u);
+  ASSERT_FALSE(sequential.importance.empty());
+  ASSERT_FALSE(sequential.packages.empty());
+  ASSERT_FALSE(sequential.footprints.empty());
+  EXPECT_EQ(sequential.ground_truth_mismatches, 0u);
+
+  for (size_t jobs : {size_t{2}, size_t{8}}) {
+    Exports parallel = RunAndExport(seed, jobs);
+    EXPECT_EQ(parallel.jobs_used, jobs);
+    EXPECT_EQ(parallel.analyzed_binaries, sequential.analyzed_binaries);
+    EXPECT_EQ(parallel.ground_truth_mismatches,
+              sequential.ground_truth_mismatches);
+    // Byte-for-byte: any scheduling leak (iteration order, interner ids,
+    // counter drift) shows up here.
+    EXPECT_EQ(parallel.importance, sequential.importance)
+        << "api_importance.tsv differs at jobs=" << jobs;
+    EXPECT_EQ(parallel.packages, sequential.packages)
+        << "packages.tsv differs at jobs=" << jobs;
+    EXPECT_EQ(parallel.footprints, sequential.footprints)
+        << "footprints.tsv differs at jobs=" << jobs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoSeeds, RuntimeDeterminismTest,
+                         ::testing::Values(uint64_t{20160418},
+                                           uint64_t{424242}));
+
+}  // namespace
+}  // namespace lapis

@@ -1,0 +1,316 @@
+// Unit tests for the work-stealing executor and the deterministic
+// reduction layer: task ordering under dependencies, exception
+// propagation, nested ParallelFor, cancellation, and counter sanity.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/runtime/executor.h"
+#include "src/runtime/parallel.h"
+#include "src/runtime/stage_stats.h"
+#include "src/util/env.h"
+
+namespace lapis::runtime {
+namespace {
+
+TEST(ExecutorTest, SingleThreadRunsInline) {
+  Executor executor(1);
+  EXPECT_EQ(executor.thread_count(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  executor.Submit([&] { ran_on = std::this_thread::get_id(); });
+  executor.WaitAll();
+  EXPECT_EQ(ran_on, caller);
+  EXPECT_EQ(executor.stats().tasks_executed, 1u);
+}
+
+TEST(ExecutorTest, ZeroPicksDefaultJobs) {
+  Executor executor(0);
+  EXPECT_GE(executor.thread_count(), 1u);
+}
+
+TEST(ExecutorTest, AbsurdThreadCountIsClamped) {
+  // E.g. -1 coerced through size_t must not try to reserve 2^64 slots.
+  Executor executor(static_cast<size_t>(-1));
+  EXPECT_LE(executor.thread_count(), 512u);
+  std::atomic<bool> ran{false};
+  executor.Submit([&ran] { ran = true; });
+  executor.WaitAll();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ExecutorTest, ParallelForCoversEveryIndexOnce) {
+  for (size_t jobs : {1, 2, 4, 8}) {
+    Executor executor(jobs);
+    constexpr size_t kCount = 10000;
+    std::vector<std::atomic<uint32_t>> hits(kCount);
+    executor.ParallelFor(0, kCount, 7, [&hits](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ExecutorTest, ParallelForEmptyAndSingletonRanges) {
+  Executor executor(4);
+  size_t calls = 0;
+  executor.ParallelFor(5, 5, 0,
+                       [&calls](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  std::atomic<size_t> total{0};
+  executor.ParallelFor(3, 4, 0, [&total](size_t begin, size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 1u);
+}
+
+TEST(ExecutorTest, DependenciesOrderExecution) {
+  Executor executor(4);
+  std::atomic<int> stage{0};
+  bool a_before_b = false;
+  bool b_before_c = false;
+  TaskId a = executor.Submit([&] { stage.store(1); });
+  TaskId b = executor.Submit(
+      [&] {
+        a_before_b = stage.load() >= 1;
+        stage.store(2);
+      },
+      {a});
+  executor.Submit(
+      [&] { b_before_c = stage.load() >= 2; }, {a, b});
+  executor.WaitAll();
+  EXPECT_TRUE(a_before_b);
+  EXPECT_TRUE(b_before_c);
+}
+
+TEST(ExecutorTest, WaitOnUnknownIdReturnsImmediately) {
+  Executor executor(2);
+  executor.Wait(kInvalidTaskId);
+  executor.Wait(987654);  // never issued
+}
+
+TEST(ExecutorTest, DiamondDependencyFanInFanOut) {
+  Executor executor(4);
+  std::atomic<uint32_t> order{0};
+  std::atomic<uint32_t> top_pos{0}, left_pos{0}, right_pos{0},
+      bottom_pos{0};
+  TaskId top = executor.Submit([&] { top_pos = ++order; });
+  TaskId left = executor.Submit([&] { left_pos = ++order; }, {top});
+  TaskId right = executor.Submit([&] { right_pos = ++order; }, {top});
+  executor.Submit([&] { bottom_pos = ++order; }, {left, right});
+  executor.WaitAll();
+  EXPECT_LT(top_pos.load(), left_pos.load());
+  EXPECT_LT(top_pos.load(), right_pos.load());
+  EXPECT_GT(bottom_pos.load(), left_pos.load());
+  EXPECT_GT(bottom_pos.load(), right_pos.load());
+}
+
+TEST(ExecutorTest, SubmitExceptionRethrownAtWaitAll) {
+  for (size_t jobs : {1, 4}) {
+    Executor executor(jobs);
+    executor.Submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(executor.WaitAll(), std::runtime_error);
+    // The error is consumed: the pool keeps working afterwards.
+    std::atomic<bool> ran{false};
+    executor.Submit([&ran] { ran = true; });
+    executor.WaitAll();
+    EXPECT_TRUE(ran.load());
+  }
+}
+
+TEST(ExecutorTest, ParallelForExceptionRethrownAtJoin) {
+  for (size_t jobs : {1, 4}) {
+    Executor executor(jobs);
+    EXPECT_THROW(
+        executor.ParallelFor(0, 100, 1,
+                             [](size_t begin, size_t) {
+                               if (begin >= 50) {
+                                 throw std::logic_error("chunk failed");
+                               }
+                             }),
+        std::logic_error);
+    // A failed ParallelFor leaves the pool reusable.
+    std::atomic<size_t> total{0};
+    executor.ParallelFor(0, 10, 1, [&total](size_t begin, size_t end) {
+      total.fetch_add(end - begin);
+    });
+    EXPECT_EQ(total.load(), 10u);
+  }
+}
+
+TEST(ExecutorTest, NestedParallelFor) {
+  for (size_t jobs : {1, 4}) {
+    Executor executor(jobs);
+    constexpr size_t kOuter = 16;
+    constexpr size_t kInner = 64;
+    std::vector<std::atomic<uint32_t>> hits(kOuter * kInner);
+    executor.ParallelFor(0, kOuter, 1, [&](size_t obegin, size_t oend) {
+      for (size_t o = obegin; o < oend; ++o) {
+        executor.ParallelFor(0, kInner, 8,
+                             [&, o](size_t ibegin, size_t iend) {
+                               for (size_t i = ibegin; i < iend; ++i) {
+                                 hits[o * kInner + i].fetch_add(1);
+                               }
+                             });
+      }
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "slot " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ExecutorTest, CancelSkipsPendingSubmits) {
+  Executor executor(1);  // inline: nothing runs until WaitAll
+  std::atomic<size_t> ran{0};
+  // With one thread, Submit()ed work only runs inside Wait/WaitAll, so
+  // cancelling first must skip all of it.
+  for (int i = 0; i < 8; ++i) {
+    executor.Submit([&ran] { ran.fetch_add(1); });
+  }
+  executor.Cancel();
+  executor.WaitAll();
+  EXPECT_EQ(ran.load(), 0u);
+  EXPECT_EQ(executor.stats().tasks_skipped, 8u);
+
+  executor.ResetCancellation();
+  executor.Submit([&ran] { ran.fetch_add(1); });
+  executor.WaitAll();
+  EXPECT_EQ(ran.load(), 1u);
+}
+
+TEST(ExecutorTest, CancelStopsParallelForEarly) {
+  Executor executor(2);
+  std::atomic<size_t> executed{0};
+  executor.Cancel();
+  executor.ParallelFor(0, 1000, 1, [&executed](size_t, size_t) {
+    executed.fetch_add(1);
+  });
+  EXPECT_EQ(executed.load(), 0u);
+  executor.ResetCancellation();
+}
+
+TEST(ExecutorTest, StatsCountersAreCoherent) {
+  Executor executor(4);
+  constexpr size_t kTasks = 200;
+  std::atomic<size_t> ran{0};
+  for (size_t i = 0; i < kTasks; ++i) {
+    executor.Submit([&ran] { ran.fetch_add(1); });
+  }
+  executor.WaitAll();
+  ExecutorStats stats = executor.stats();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(stats.thread_count, 4u);
+  EXPECT_GE(stats.tasks_submitted, kTasks);
+  EXPECT_EQ(stats.tasks_executed, kTasks);
+  EXPECT_EQ(stats.tasks_skipped, 0u);
+  EXPECT_GT(stats.max_queue_depth, 0u);
+}
+
+TEST(ExecutorTest, ManyWaitersOnOneTask) {
+  Executor executor(4);
+  std::atomic<int> value{0};
+  TaskId id = executor.Submit([&value] { value = 42; });
+  executor.Wait(id);
+  executor.Wait(id);  // already finished: returns immediately
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ParallelMapTest, ResultsLandAtCanonicalIndex) {
+  for (size_t jobs : {1, 2, 8}) {
+    Executor executor(jobs);
+    auto out = ParallelMap(&executor, 1000,
+                           [](size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 1000u);
+    for (size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out[i], i * i);
+    }
+  }
+}
+
+TEST(ParallelMapTest, NullExecutorRunsInline) {
+  auto out = ParallelMap(static_cast<Executor*>(nullptr), 10,
+                         [](size_t i) { return static_cast<int>(i) + 1; });
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out[9], 10);
+}
+
+TEST(ParallelMapTest, FoldInOrderIsSequentialAscending) {
+  Executor executor(4);
+  auto shards = ParallelMap(&executor, 64,
+                            [](size_t i) { return std::to_string(i); });
+  std::string joined;
+  FoldInOrder(shards, [&joined](size_t, const std::string& s) {
+    joined += s;
+    joined += ',';
+  });
+  std::string expected;
+  for (size_t i = 0; i < 64; ++i) {
+    expected += std::to_string(i);
+    expected += ',';
+  }
+  EXPECT_EQ(joined, expected);
+}
+
+TEST(StageStatsTest, RecordsInFirstSeenOrderAndAccumulates) {
+  PipelineStats stats;
+  stats.Record("alpha", 1.0, 2.0, 10);
+  stats.Record("beta", 0.5, 0.5, 5);
+  stats.Record("alpha", 1.0, 1.0, 3);
+  ASSERT_EQ(stats.stages().size(), 2u);
+  EXPECT_EQ(stats.stages()[0].first, "alpha");
+  EXPECT_EQ(stats.stages()[1].first, "beta");
+  const StageRecord* alpha = stats.Find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_DOUBLE_EQ(alpha->wall_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(alpha->cpu_seconds, 3.0);
+  EXPECT_EQ(alpha->items, 13u);
+  EXPECT_EQ(alpha->calls, 2u);
+  EXPECT_DOUBLE_EQ(stats.TotalWallSeconds(), 2.5);
+  EXPECT_EQ(stats.Find("missing"), nullptr);
+}
+
+TEST(StageStatsTest, StageTimerRecordsScope) {
+  PipelineStats stats;
+  {
+    StageTimer timer(&stats, "scoped");
+    timer.AddItems(7);
+  }
+  const StageRecord* record = stats.Find("scoped");
+  ASSERT_NE(record, nullptr);
+  EXPECT_GE(record->wall_seconds, 0.0);
+  EXPECT_EQ(record->items, 7u);
+  EXPECT_EQ(record->calls, 1u);
+}
+
+TEST(EnvTest, EnvSizeOrParsesAndFallsBack) {
+  unsetenv("LAPIS_TEST_ENV_SIZE");
+  EXPECT_EQ(EnvSizeOr("LAPIS_TEST_ENV_SIZE", 7), 7u);
+  setenv("LAPIS_TEST_ENV_SIZE", "42", 1);
+  EXPECT_EQ(EnvSizeOr("LAPIS_TEST_ENV_SIZE", 7), 42u);
+  setenv("LAPIS_TEST_ENV_SIZE", "-3", 1);
+  EXPECT_EQ(EnvSizeOr("LAPIS_TEST_ENV_SIZE", 7), 7u);
+  setenv("LAPIS_TEST_ENV_SIZE", "junk", 1);
+  EXPECT_EQ(EnvSizeOr("LAPIS_TEST_ENV_SIZE", 7), 7u);
+  unsetenv("LAPIS_TEST_ENV_SIZE");
+}
+
+TEST(GlobalExecutorTest, SetGlobalJobsRebuildsPool) {
+  SetGlobalJobs(2);
+  EXPECT_EQ(GlobalExecutor().thread_count(), 2u);
+  SetGlobalJobs(1);
+  EXPECT_EQ(GlobalExecutor().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace lapis::runtime

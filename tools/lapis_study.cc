@@ -95,6 +95,9 @@ int main(int argc, char** argv) {
   flags.AddString("eval", "",
                   "comma-separated syscall names: evaluate a prototype");
   flags.AddInt("top", 0, "print the N most important syscalls");
+  flags.AddInt("jobs", 0,
+               "worker threads for the pipeline (0 = all cores, 1 = "
+               "sequential); exports are identical at any value");
   auto status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -130,6 +133,12 @@ int main(int argc, char** argv) {
     options.distro.installation_count =
         static_cast<uint64_t>(flags.GetInt("installs"));
     options.distro.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    if (flags.GetInt("jobs") < 0) {
+      std::fprintf(stderr, "--jobs must be >= 0 (got %lld)\n",
+                   static_cast<long long>(flags.GetInt("jobs")));
+      return 2;
+    }
+    options.jobs = static_cast<size_t>(flags.GetInt("jobs"));
     std::printf("generating corpus and running the analysis pipeline...\n");
     auto study = corpus::RunStudy(options);
     if (!study.ok()) {
@@ -142,6 +151,17 @@ int main(int argc, char** argv) {
         "(ground-truth mismatches: %zu)\n",
         study.value().analyzed_binaries, study.value().spec.packages.size(),
         study.value().ground_truth_mismatches);
+    const auto& xstats = study.value().executor_stats;
+    std::printf(
+        "pipeline: %zu worker thread(s), %zu tasks executed, %zu steals, "
+        "max queue depth %zu\n",
+        study.value().jobs_used, xstats.tasks_executed, xstats.steals,
+        xstats.max_queue_depth);
+    for (const auto& [stage, record] : study.value().pipeline_stats.stages()) {
+      std::printf("  stage %-20s %7.2fs wall  %7.2fs cpu  %zu items\n",
+                  stage.c_str(), record.wall_seconds, record.cpu_seconds,
+                  record.items);
+    }
     if (!flags.GetString("save").empty()) {
       auto save = corpus::SaveStudy(study.value(), flags.GetString("save"));
       if (!save.ok()) {
