@@ -1,0 +1,102 @@
+// Dataflow-precision benchmark: runs the full study pipeline twice over the
+// same calibrated corpus — once with the linear constant-propagation
+// baseline, once with CFG dataflow — with the differential soundness audit
+// enabled in both modes. Reports, side by side:
+//   * unknown syscall-site counts and rates (precision);
+//   * ground-truth mismatches (both must be zero — soundness of recovery);
+//   * the audit verdict (both must replay with zero violations).
+// The headline check: dataflow must STRICTLY reduce unknown sites versus
+// the linear baseline (branch-guarded sites are recoverable only through
+// the CFG join), at zero soundness cost.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/study_fixture.h"
+#include "src/corpus/study_runner.h"
+#include "src/util/table_writer.h"
+
+using namespace lapis;
+
+namespace {
+
+corpus::StudyResult RunMode(bool use_dataflow) {
+  corpus::StudyOptions options = bench::BenchStudyOptions();
+  options.analyzer.use_dataflow = use_dataflow;
+  options.audit = true;
+  auto result = corpus::RunStudy(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "study failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return result.take();
+}
+
+std::string Rate(int unknown, int total) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f%%",
+                total > 0 ? 100.0 * unknown / total : 0.0);
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Dataflow constant propagation vs linear baseline\n");
+  std::printf("(same corpus, both modes audited against dynamic replay)\n\n");
+
+  corpus::StudyResult linear = RunMode(/*use_dataflow=*/false);
+  corpus::StudyResult dataflow = RunMode(/*use_dataflow=*/true);
+
+  TableWriter table({"Metric", "Linear", "CFG dataflow"});
+  table.AddRow({"syscall sites",
+                std::to_string(linear.total_syscall_sites),
+                std::to_string(dataflow.total_syscall_sites)});
+  table.AddRow({"unknown sites",
+                std::to_string(linear.unknown_syscall_sites),
+                std::to_string(dataflow.unknown_syscall_sites)});
+  table.AddRow({"unknown rate",
+                Rate(linear.unknown_syscall_sites,
+                     linear.total_syscall_sites),
+                Rate(dataflow.unknown_syscall_sites,
+                     dataflow.total_syscall_sites)});
+  table.AddRow({"ground-truth mismatches",
+                std::to_string(linear.ground_truth_mismatches),
+                std::to_string(dataflow.ground_truth_mismatches)});
+  table.AddRow({"executables replayed",
+                std::to_string(linear.audit->executables_audited),
+                std::to_string(dataflow.audit->executables_audited)});
+  table.AddRow({"soundness violations",
+                std::to_string(linear.audit->soundness_violations),
+                std::to_string(dataflow.audit->soundness_violations)});
+  table.AddRow({"observed masked by unknowns",
+                std::to_string(linear.audit->masked_by_unknown_sites),
+                std::to_string(dataflow.audit->masked_by_unknown_sites)});
+  table.AddRow({"static-only margin",
+                std::to_string(linear.audit->static_only_apis),
+                std::to_string(dataflow.audit->static_only_apis)});
+  table.Print(std::cout);
+
+  std::printf("\nlinear   %s\n", linear.audit->Summary().c_str());
+  std::printf("dataflow %s\n\n", dataflow.audit->Summary().c_str());
+
+  const bool strict_reduction =
+      dataflow.unknown_syscall_sites < linear.unknown_syscall_sites;
+  const bool both_sound =
+      linear.audit->sound() && dataflow.audit->sound();
+  std::printf("strict unknown-site reduction: %s (%d -> %d)\n",
+              strict_reduction ? "YES" : "NO",
+              linear.unknown_syscall_sites,
+              dataflow.unknown_syscall_sites);
+  std::printf("zero audit violations in both modes: %s\n",
+              both_sound ? "YES" : "NO");
+  if (!strict_reduction || !both_sound) {
+    std::printf("\nVERDICT: FAIL\n");
+    return 1;
+  }
+  std::printf("\nVERDICT: PASS — dataflow strictly sharpens the paper's\n"
+              "call-site number recovery without giving up the strace\n"
+              "superset invariant (paper section 2.3).\n");
+  return 0;
+}

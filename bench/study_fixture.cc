@@ -54,6 +54,13 @@ void PrintStudyBanner(const std::string& title) {
       FormatWithCommas(study.survey.total_reporting).c_str(),
       study.ground_truth_mismatches);
   std::printf(
+      "analysis: %s constant propagation, %d of %d syscall sites unknown\n",
+      study.analyzer_options.use_dataflow ? "CFG dataflow" : "linear",
+      study.unknown_syscall_sites, study.total_syscall_sites);
+  if (study.audit.has_value()) {
+    std::printf("%s\n", study.audit->Summary().c_str());
+  }
+  std::printf(
       "pipeline: %zu worker thread(s), %zu tasks executed, %zu steals, "
       "max queue depth %zu, %.1fs wall / %.1fs cpu across stages\n\n",
       study.jobs_used, study.executor_stats.tasks_executed,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "src/analysis/cfg.h"
+#include "src/analysis/dataflow.h"
 #include "src/disasm/decoder.h"
 #include "src/runtime/parallel.h"
 #include "src/util/strings.h"
@@ -13,31 +15,6 @@ namespace {
 
 using disasm::Insn;
 using disasm::InsnKind;
-
-// Abstract value for one register along straight-line code.
-struct AbsVal {
-  enum class Kind : uint8_t { kUnknown, kConst, kRodataPtr };
-  Kind kind = Kind::kUnknown;
-  int64_t value = 0;
-};
-
-struct RegState {
-  AbsVal regs[16];
-
-  void Reset() {
-    for (auto& r : regs) {
-      r = AbsVal{};
-    }
-  }
-
-  void ClobberCallerSaved() {
-    // System V AMD64: rax, rcx, rdx, rsi, rdi, r8-r11 are caller-saved.
-    static constexpr uint8_t kVolatile[] = {0, 1, 2, 6, 7, 8, 9, 10, 11};
-    for (uint8_t r : kVolatile) {
-      regs[r] = AbsVal{};
-    }
-  }
-};
 
 // Reads the NUL-terminated string at `vaddr` from the image, if printable.
 std::optional<std::string> ReadStringAt(const elf::ElfImage& image,
@@ -131,6 +108,127 @@ BinaryAnalysis::PerExportReachable(runtime::Executor* executor) const {
   return out;
 }
 
+namespace {
+
+// Interprets one function's decoded body against the per-instruction
+// register facts from the propagation pass: recovers syscall numbers and
+// vectored-call opcodes, records PLT calls, intra-binary callees, and
+// hard-coded pseudo paths. All state questions go through `states`; this
+// loop carries none of its own.
+void CollectFunctionFacts(const elf::ElfImage& image,
+                          const AnalyzerOptions& options,
+                          const disasm::SweepResult& sweep,
+                          const std::vector<RegState>& states,
+                          const std::set<uint64_t>& function_starts,
+                          FunctionInfo& info, BinaryAnalysis& analysis) {
+  for (size_t i = 0; i < sweep.insns.size(); ++i) {
+    const Insn& insn = sweep.insns[i];
+    const RegState& state = states[i];
+    switch (insn.kind) {
+      case InsnKind::kLeaRipRel: {
+        if (options.collect_pseudo_paths) {
+          auto s = ReadStringAt(image, insn.target);
+          if (s.has_value() && lapis::IsPseudoFilePath(*s)) {
+            info.local.pseudo_paths.insert(lapis::CanonicalizePseudoPath(*s));
+          }
+        }
+        break;
+      }
+      case InsnKind::kSyscall:
+      case InsnKind::kSysenter: {
+        ++analysis.total_syscall_sites;
+        const AbsVal& rax = state.regs[disasm::kRax];
+        if (rax.is_const()) {
+          int nr = static_cast<int>(rax.value);
+          info.local.syscalls.insert(nr);
+          if (options.resolve_wrapper_opcodes) {
+            auto record_op = [&](uint8_t arg_reg, std::set<uint32_t>& ops) {
+              const AbsVal& arg = state.regs[arg_reg];
+              if (arg.is_const()) {
+                ops.insert(static_cast<uint32_t>(arg.value));
+              } else {
+                ++info.local.unknown_opcode_sites;
+              }
+            };
+            if (nr == kSysIoctl) {
+              record_op(disasm::kRsi, info.local.ioctl_ops);
+            } else if (nr == kSysFcntl) {
+              record_op(disasm::kRsi, info.local.fcntl_ops);
+            } else if (nr == kSysPrctl) {
+              record_op(disasm::kRdi, info.local.prctl_ops);
+            }
+          }
+        } else {
+          ++info.local.unknown_syscall_sites;
+          ++analysis.unknown_syscall_sites;
+        }
+        break;
+      }
+      case InsnKind::kInt: {
+        if ((insn.imm & 0xff) == 0x80) {
+          ++info.local.int80_sites;
+          ++analysis.total_syscall_sites;
+          // The legacy gate takes its number in eax with i386 numbering.
+          const AbsVal& rax = state.regs[disasm::kRax];
+          if (rax.is_const()) {
+            info.local.int80_syscalls.insert(static_cast<int>(rax.value));
+          } else {
+            ++info.local.unknown_syscall_sites;
+            ++analysis.unknown_syscall_sites;
+          }
+        }
+        break;
+      }
+      case InsnKind::kCallRel32:
+      case InsnKind::kJmpRel: {
+        auto plt_symbol = image.ResolvePltCall(insn.target);
+        if (plt_symbol.has_value()) {
+          info.plt_calls.insert(*plt_symbol);
+          if (options.resolve_wrapper_opcodes) {
+            auto record_op = [&](uint8_t arg_reg, std::set<uint32_t>& ops) {
+              const AbsVal& arg = state.regs[arg_reg];
+              if (arg.is_const()) {
+                ops.insert(static_cast<uint32_t>(arg.value));
+              } else {
+                ++info.local.unknown_opcode_sites;
+              }
+            };
+            if (*plt_symbol == "ioctl") {
+              record_op(disasm::kRsi, info.local.ioctl_ops);
+            } else if (*plt_symbol == "fcntl" || *plt_symbol == "fcntl64") {
+              record_op(disasm::kRsi, info.local.fcntl_ops);
+            } else if (*plt_symbol == "prctl") {
+              record_op(disasm::kRdi, info.local.prctl_ops);
+            } else if (*plt_symbol == "syscall") {
+              // long syscall(long number, ...): number in rdi.
+              ++analysis.total_syscall_sites;
+              const AbsVal& rdi = state.regs[disasm::kRdi];
+              if (rdi.is_const()) {
+                info.local.syscalls.insert(static_cast<int>(rdi.value));
+              } else {
+                ++info.local.unknown_syscall_sites;
+                ++analysis.unknown_syscall_sites;
+              }
+            }
+          }
+        } else if (function_starts.count(insn.target) != 0 &&
+                   insn.target != info.vaddr) {
+          info.local_callees.insert(insn.target);
+        }
+        break;
+      }
+      case InsnKind::kCallIndirect:
+      case InsnKind::kJmpIndirect:
+        ++info.local.indirect_call_sites;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
 Result<BinaryAnalysis> BinaryAnalyzer::Analyze(const elf::ElfImage& image,
                                                const Options& options) {
   BinaryAnalysis analysis;
@@ -139,9 +237,6 @@ Result<BinaryAnalysis> BinaryAnalyzer::Analyze(const elf::ElfImage& image,
   analysis.needed_ = image.needed();
   analysis.soname_ = image.soname();
 
-  for (const auto& name : image.ImportedSymbolNames()) {
-    (void)name;  // imports are discovered per call site below
-  }
   for (const auto* sym : image.ExportedFunctions()) {
     analysis.exports_.push_back(sym->name);
   }
@@ -156,6 +251,10 @@ Result<BinaryAnalysis> BinaryAnalyzer::Analyze(const elf::ElfImage& image,
   for (const auto* sym : funcs) {
     function_starts.insert(sym->value);
   }
+
+  const PropagationMode mode = options.use_dataflow
+                                   ? PropagationMode::kDataflow
+                                   : PropagationMode::kLinear;
 
   for (const auto* sym : funcs) {
     FunctionInfo info;
@@ -174,146 +273,11 @@ Result<BinaryAnalysis> BinaryAnalyzer::Analyze(const elf::ElfImage& image,
     disasm::SweepResult sweep = disasm::LinearSweep(body, sym->value);
     info.decode_complete = sweep.complete;
 
-    RegState state;
-    for (const Insn& insn : sweep.insns) {
-      switch (insn.kind) {
-        case InsnKind::kMovRegImm:
-          state.regs[insn.reg] = AbsVal{AbsVal::Kind::kConst, insn.imm};
-          break;
-        case InsnKind::kXorRegReg:
-          state.regs[insn.reg] = AbsVal{AbsVal::Kind::kConst, 0};
-          break;
-        case InsnKind::kMovRegReg:
-          state.regs[insn.reg] = state.regs[insn.reg2];
-          break;
-        case InsnKind::kLeaRipRel: {
-          state.regs[insn.reg] =
-              AbsVal{AbsVal::Kind::kRodataPtr,
-                     static_cast<int64_t>(insn.target)};
-          if (options.collect_pseudo_paths) {
-            auto s = ReadStringAt(image, insn.target);
-            if (s.has_value() && lapis::IsPseudoFilePath(*s)) {
-              info.local.pseudo_paths.insert(
-                  lapis::CanonicalizePseudoPath(*s));
-            }
-          }
-          break;
-        }
-        case InsnKind::kSyscall:
-        case InsnKind::kSysenter: {
-          ++analysis.total_syscall_sites;
-          const AbsVal& rax = state.regs[disasm::kRax];
-          if (rax.kind == AbsVal::Kind::kConst) {
-            int nr = static_cast<int>(rax.value);
-            info.local.syscalls.insert(nr);
-            if (options.resolve_wrapper_opcodes) {
-              auto record_op = [&](uint8_t arg_reg, std::set<uint32_t>& ops) {
-                const AbsVal& arg = state.regs[arg_reg];
-                if (arg.kind == AbsVal::Kind::kConst) {
-                  ops.insert(static_cast<uint32_t>(arg.value));
-                } else {
-                  ++info.local.unknown_opcode_sites;
-                }
-              };
-              if (nr == kSysIoctl) {
-                record_op(disasm::kRsi, info.local.ioctl_ops);
-              } else if (nr == kSysFcntl) {
-                record_op(disasm::kRsi, info.local.fcntl_ops);
-              } else if (nr == kSysPrctl) {
-                record_op(disasm::kRdi, info.local.prctl_ops);
-              }
-            }
-          } else {
-            ++info.local.unknown_syscall_sites;
-            ++analysis.unknown_syscall_sites;
-          }
-          break;
-        }
-        case InsnKind::kInt: {
-          if ((insn.imm & 0xff) == 0x80) {
-            ++info.local.int80_sites;
-            ++analysis.total_syscall_sites;
-            // The legacy gate takes its number in eax with i386 numbering.
-            const AbsVal& rax = state.regs[disasm::kRax];
-            if (rax.kind == AbsVal::Kind::kConst) {
-              info.local.int80_syscalls.insert(static_cast<int>(rax.value));
-            } else {
-              ++info.local.unknown_syscall_sites;
-              ++analysis.unknown_syscall_sites;
-            }
-          }
-          break;
-        }
-        case InsnKind::kCallRel32:
-        case InsnKind::kJmpRel: {
-          auto plt_symbol = image.ResolvePltCall(insn.target);
-          if (plt_symbol.has_value()) {
-            info.plt_calls.insert(*plt_symbol);
-            if (options.resolve_wrapper_opcodes) {
-              auto record_op = [&](uint8_t arg_reg, std::set<uint32_t>& ops) {
-                const AbsVal& arg = state.regs[arg_reg];
-                if (arg.kind == AbsVal::Kind::kConst) {
-                  ops.insert(static_cast<uint32_t>(arg.value));
-                } else {
-                  ++info.local.unknown_opcode_sites;
-                }
-              };
-              if (*plt_symbol == "ioctl") {
-                record_op(disasm::kRsi, info.local.ioctl_ops);
-              } else if (*plt_symbol == "fcntl" || *plt_symbol == "fcntl64") {
-                record_op(disasm::kRsi, info.local.fcntl_ops);
-              } else if (*plt_symbol == "prctl") {
-                record_op(disasm::kRdi, info.local.prctl_ops);
-              } else if (*plt_symbol == "syscall") {
-                // long syscall(long number, ...): number in rdi.
-                ++analysis.total_syscall_sites;
-                const AbsVal& rdi = state.regs[disasm::kRdi];
-                if (rdi.kind == AbsVal::Kind::kConst) {
-                  info.local.syscalls.insert(static_cast<int>(rdi.value));
-                } else {
-                  ++info.local.unknown_syscall_sites;
-                  ++analysis.unknown_syscall_sites;
-                }
-              }
-            }
-          } else if (function_starts.count(insn.target) != 0 &&
-                     insn.target != info.vaddr) {
-            info.local_callees.insert(insn.target);
-          }
-          if (insn.kind == InsnKind::kCallRel32) {
-            state.ClobberCallerSaved();
-          } else {
-            // Unconditional jump ends the block: later code may be reached
-            // from elsewhere with different register contents.
-            state.Reset();
-          }
-          break;
-        }
-        case InsnKind::kCallIndirect:
-        case InsnKind::kJmpIndirect:
-          ++info.local.indirect_call_sites;
-          if (insn.kind == InsnKind::kCallIndirect) {
-            state.ClobberCallerSaved();
-          } else {
-            state.Reset();
-          }
-          break;
-        case InsnKind::kRet:
-          state.Reset();
-          break;
-        case InsnKind::kJccRel:
-        case InsnKind::kNop:
-          break;
-        case InsnKind::kOther:
-          // Unmodeled instruction: any register it wrote is stale. We only
-          // track a small instruction vocabulary, so conservatively drop
-          // rax (the syscall-number register) on arithmetic-looking ops.
-          if (!insn.two_byte && insn.opcode != 0x89 && insn.opcode != 0x8b) {
-            state.regs[disasm::kRax] = AbsVal{};
-          }
-          break;
-      }
-    }
+    ControlFlowGraph cfg = ControlFlowGraph::Build(sweep);
+    info.basic_block_count = cfg.block_count();
+    std::vector<RegState> states = ComputeInsnStates(sweep, cfg, mode);
+    CollectFunctionFacts(image, options, sweep, states, function_starts,
+                         info, analysis);
 
     analysis.functions_.push_back(std::move(info));
   }

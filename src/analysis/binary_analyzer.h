@@ -2,17 +2,20 @@
 //
 // For each ELF binary:
 //   1. Build the function table from .symtab (defined STT_FUNC symbols).
-//   2. Disassemble each function and track abstract register values
-//      (constants from mov-imm / xor-zero, .rodata pointers from
-//      rip-relative lea) along straight-line code.
+//   2. Disassemble each function, split it into basic blocks (cfg.h), and
+//      run constant propagation over the abstract register lattice
+//      (dataflow.h) — a CFG worklist fixpoint by default, or the paper's
+//      single-pass linear back-tracking as an ablation baseline
+//      (AnalyzerOptions::use_dataflow).
 //   3. At `syscall` / `sysenter` / `int 0x80` sites, recover the system-call
-//      number from the tracked rax value; at vectored calls (ioctl/fcntl/
+//      number from the propagated rax fact; at vectored calls (ioctl/fcntl/
 //      prctl, direct or via their libc PLT wrappers) recover the opcode from
 //      the argument register; at PLT calls record the imported symbol; at
 //      rip-relative string loads record hard-coded pseudo-file paths.
 //   4. Build the intra-binary call graph (call/jmp rel32 between functions).
 //
-// Reachability and cross-library resolution live in library_resolver.h.
+// Reachability and cross-library resolution live in library_resolver.h; the
+// differential soundness audit against the dynamic tracer lives in audit.h.
 
 #ifndef LAPIS_SRC_ANALYSIS_BINARY_ANALYZER_H_
 #define LAPIS_SRC_ANALYSIS_BINARY_ANALYZER_H_
@@ -42,6 +45,7 @@ struct FunctionInfo {
   Footprint local;                       // APIs requested directly here
   std::set<std::string> plt_calls;       // imported symbols called
   std::set<uint64_t> local_callees;      // vaddrs of intra-binary callees
+  size_t basic_block_count = 0;          // CFG size (diagnostics)
   bool decode_complete = true;           // linear sweep covered whole body
 };
 
@@ -105,6 +109,11 @@ struct AnalyzerOptions {
   bool resolve_wrapper_opcodes = true;
   // Collect hard-coded /proc, /sys, /dev paths from rip-relative loads.
   bool collect_pseudo_paths = true;
+  // Propagate register constants with the CFG worklist fixpoint
+  // (dataflow.h). false = the paper's single-pass linear back-tracking,
+  // kept benchmarkable as the ablation baseline: sound after the
+  // branch-target fix, but every merge point degrades to unknown.
+  bool use_dataflow = true;
 };
 
 class BinaryAnalyzer {

@@ -1,0 +1,109 @@
+#include "src/analysis/cfg.h"
+
+#include <map>
+
+namespace lapis::analysis {
+
+namespace {
+
+using disasm::Insn;
+using disasm::InsnKind;
+
+// Control leaves the instruction sideways (never falls through for kJmpRel /
+// kRet / kJmpIndirect; conditionally for kJccRel). The instruction after any
+// of these starts a new block.
+bool IsTerminator(const Insn& insn) {
+  switch (insn.kind) {
+    case InsnKind::kJmpRel:
+    case InsnKind::kJccRel:
+    case InsnKind::kRet:
+    case InsnKind::kJmpIndirect:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool FallsThrough(const Insn& insn) {
+  switch (insn.kind) {
+    case InsnKind::kJmpRel:
+    case InsnKind::kRet:
+    case InsnKind::kJmpIndirect:
+      return false;
+    default:
+      return true;  // kJccRel falls through on the not-taken path
+  }
+}
+
+bool HasBranchTarget(const Insn& insn) {
+  return insn.kind == InsnKind::kJmpRel || insn.kind == InsnKind::kJccRel;
+}
+
+}  // namespace
+
+ControlFlowGraph ControlFlowGraph::Build(const disasm::SweepResult& sweep) {
+  ControlFlowGraph cfg;
+  const std::vector<Insn>& insns = sweep.insns;
+  if (insns.empty()) {
+    return cfg;
+  }
+
+  std::map<uint64_t, size_t> insn_at_vaddr;
+  for (size_t i = 0; i < insns.size(); ++i) {
+    insn_at_vaddr.emplace(insns[i].vaddr, i);
+  }
+
+  // ---- Leaders ----
+  std::vector<bool> leader(insns.size(), false);
+  cfg.is_branch_target_.assign(insns.size(), false);
+  leader[0] = true;
+  for (size_t i = 0; i < insns.size(); ++i) {
+    if (HasBranchTarget(insns[i])) {
+      auto it = insn_at_vaddr.find(insns[i].target);
+      if (it != insn_at_vaddr.end()) {
+        leader[it->second] = true;
+        cfg.is_branch_target_[it->second] = true;
+      }
+    }
+    if (IsTerminator(insns[i]) && i + 1 < insns.size()) {
+      leader[i + 1] = true;
+    }
+  }
+
+  // ---- Blocks ----
+  cfg.block_of_insn_.assign(insns.size(), 0);
+  for (size_t i = 0; i < insns.size(); ++i) {
+    if (leader[i]) {
+      BasicBlock block;
+      block.first_insn = i;
+      block.start_vaddr = insns[i].vaddr;
+      cfg.blocks_.push_back(block);
+    }
+    BasicBlock& current = cfg.blocks_.back();
+    ++current.insn_count;
+    cfg.block_of_insn_[i] = static_cast<uint32_t>(cfg.blocks_.size() - 1);
+  }
+
+  // ---- Edges ----
+  for (uint32_t b = 0; b < cfg.blocks_.size(); ++b) {
+    BasicBlock& block = cfg.blocks_[b];
+    const Insn& last = insns[block.first_insn + block.insn_count - 1];
+    if (HasBranchTarget(last)) {
+      auto it = insn_at_vaddr.find(last.target);
+      if (it != insn_at_vaddr.end()) {
+        block.succs.push_back(cfg.block_of_insn_[it->second]);
+      }
+    }
+    if (FallsThrough(last) && b + 1 < cfg.blocks_.size()) {
+      block.succs.push_back(b + 1);
+    }
+  }
+  for (uint32_t b = 0; b < cfg.blocks_.size(); ++b) {
+    for (uint32_t succ : cfg.blocks_[b].succs) {
+      cfg.blocks_[succ].preds.push_back(b);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace lapis::analysis

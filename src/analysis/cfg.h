@@ -1,0 +1,66 @@
+// Intra-function control-flow graph over a linear-sweep disassembly.
+//
+// The constant-propagation analysis (dataflow.h) needs real control flow:
+// a `jcc` both falls through and branches, a `jmp` only branches, and any
+// instruction that is the target of a branch starts a join point where
+// register states from every predecessor meet. ControlFlowGraph::Build
+// splits one function's SweepResult into basic blocks — leaders are the
+// first instruction, every in-function branch target, and every
+// instruction following a terminator — and records predecessor/successor
+// edges between them.
+//
+// Branch targets that do not land on a decoded instruction boundary (tail
+// jumps into the PLT, cross-function jumps, or targets beyond an
+// incomplete sweep) simply contribute no edge; the analysis stays
+// intra-function, exactly like the paper's per-function back-tracking.
+
+#ifndef LAPIS_SRC_ANALYSIS_CFG_H_
+#define LAPIS_SRC_ANALYSIS_CFG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/disasm/decoder.h"
+
+namespace lapis::analysis {
+
+struct BasicBlock {
+  size_t first_insn = 0;   // index into SweepResult::insns
+  size_t insn_count = 0;
+  uint64_t start_vaddr = 0;
+  std::vector<uint32_t> succs;  // successor block ids
+  std::vector<uint32_t> preds;  // predecessor block ids
+};
+
+class ControlFlowGraph {
+ public:
+  // Splits `sweep` (one function body) into basic blocks. An empty sweep
+  // yields an empty graph. Block 0, when present, contains the function's
+  // first instruction (the entry block).
+  static ControlFlowGraph Build(const disasm::SweepResult& sweep);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  size_t block_count() const { return blocks_.size(); }
+  size_t insn_count() const { return block_of_insn_.size(); }
+
+  // Id of the block containing instruction `insn_index`.
+  uint32_t BlockOfInsn(size_t insn_index) const {
+    return block_of_insn_[insn_index];
+  }
+
+  // True if instruction `insn_index` is the target of at least one
+  // in-function branch (jmp or jcc). The entry instruction is not a branch
+  // target unless something actually jumps back to it.
+  bool IsBranchTarget(size_t insn_index) const {
+    return is_branch_target_[insn_index];
+  }
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<uint32_t> block_of_insn_;
+  std::vector<bool> is_branch_target_;
+};
+
+}  // namespace lapis::analysis
+
+#endif  // LAPIS_SRC_ANALYSIS_CFG_H_

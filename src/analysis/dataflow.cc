@@ -1,0 +1,219 @@
+#include "src/analysis/dataflow.h"
+
+#include <deque>
+
+namespace lapis::analysis {
+
+namespace {
+
+using disasm::Insn;
+using disasm::InsnKind;
+
+}  // namespace
+
+AbsVal AbsVal::Join(const AbsVal& a, const AbsVal& b) {
+  if (a.kind == Kind::kBottom) {
+    return b;
+  }
+  if (b.kind == Kind::kBottom) {
+    return a;
+  }
+  if (a == b) {
+    return a;
+  }
+  return Top();
+}
+
+RegState RegState::AllBottom() {
+  RegState state;
+  for (auto& r : state.regs) {
+    r = AbsVal::Bottom();
+  }
+  return state;
+}
+
+RegState RegState::AllTop() {
+  RegState state;
+  for (auto& r : state.regs) {
+    r = AbsVal::Top();
+  }
+  return state;
+}
+
+void RegState::SetAllTop() {
+  for (auto& r : regs) {
+    r = AbsVal::Top();
+  }
+}
+
+void RegState::ClobberCallerSaved() {
+  // System V AMD64: rax, rcx, rdx, rsi, rdi, r8-r11 are caller-saved.
+  static constexpr uint8_t kVolatile[] = {0, 1, 2, 6, 7, 8, 9, 10, 11};
+  for (uint8_t r : kVolatile) {
+    regs[r] = AbsVal::Top();
+  }
+}
+
+bool RegState::JoinFrom(const RegState& other) {
+  bool changed = false;
+  for (int r = 0; r < 16; ++r) {
+    AbsVal joined = AbsVal::Join(regs[r], other.regs[r]);
+    if (!(joined == regs[r])) {
+      regs[r] = joined;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+bool RegState::operator==(const RegState& other) const {
+  for (int r = 0; r < 16; ++r) {
+    if (!(regs[r] == other.regs[r])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ApplyTransfer(const Insn& insn, RegState& state) {
+  switch (insn.kind) {
+    case InsnKind::kMovRegImm:
+      state.regs[insn.reg] = AbsVal::Const(insn.imm);
+      break;
+    case InsnKind::kXorRegReg:
+      state.regs[insn.reg] = AbsVal::Const(0);
+      break;
+    case InsnKind::kMovRegReg:
+      state.regs[insn.reg] = state.regs[insn.reg2];
+      break;
+    case InsnKind::kLeaRipRel:
+      state.regs[insn.reg] = AbsVal::Rodata(insn.target);
+      break;
+    case InsnKind::kSyscall:
+    case InsnKind::kSysenter:
+      // The kernel returns in rax and clobbers rcx/r11.
+      state.regs[disasm::kRax] = AbsVal::Top();
+      state.regs[disasm::kRcx] = AbsVal::Top();
+      state.regs[disasm::kR11] = AbsVal::Top();
+      break;
+    case InsnKind::kInt:
+      if ((insn.imm & 0xff) == 0x80) {
+        state.regs[disasm::kRax] = AbsVal::Top();
+      }
+      break;
+    case InsnKind::kCallRel32:
+    case InsnKind::kCallIndirect:
+      state.ClobberCallerSaved();
+      break;
+    case InsnKind::kJmpRel:
+    case InsnKind::kJccRel:
+    case InsnKind::kJmpIndirect:
+    case InsnKind::kRet:
+    case InsnKind::kNop:
+      break;
+    case InsnKind::kOther:
+      // Unmodeled instruction: any register it wrote is stale. We only
+      // track a small instruction vocabulary, so conservatively drop
+      // rax (the syscall-number register) on arithmetic-looking ops.
+      if (!insn.two_byte && insn.opcode != 0x89 && insn.opcode != 0x8b) {
+        state.regs[disasm::kRax] = AbsVal::Top();
+      }
+      break;
+  }
+}
+
+namespace {
+
+// The paper's single-pass mode: state flows along sweep order; it drops to
+// ⊤ at every in-function branch target (code reachable from elsewhere) and
+// after instructions that never fall through.
+std::vector<RegState> LinearStates(const disasm::SweepResult& sweep,
+                                   const ControlFlowGraph& cfg) {
+  std::vector<RegState> states(sweep.insns.size(), RegState::AllTop());
+  RegState state = RegState::AllTop();
+  for (size_t i = 0; i < sweep.insns.size(); ++i) {
+    if (cfg.IsBranchTarget(i)) {
+      state.SetAllTop();
+    }
+    states[i] = state;
+    ApplyTransfer(sweep.insns[i], state);
+    switch (sweep.insns[i].kind) {
+      case InsnKind::kJmpRel:
+      case InsnKind::kJmpIndirect:
+      case InsnKind::kRet:
+        // The next instruction, if any, is only reachable from elsewhere.
+        state.SetAllTop();
+        break;
+      default:
+        break;
+    }
+  }
+  return states;
+}
+
+// Worklist constant propagation over the CFG with per-block-exit
+// memoization: a block whose exit state did not change never re-enqueues
+// its successors.
+std::vector<RegState> DataflowStates(const disasm::SweepResult& sweep,
+                                     const ControlFlowGraph& cfg) {
+  const size_t block_count = cfg.block_count();
+  std::vector<RegState> in_states(block_count, RegState::AllBottom());
+  std::vector<RegState> out_states(block_count, RegState::AllBottom());
+  if (block_count == 0) {
+    return {};
+  }
+  // Register contents at function entry are the caller's: unknown.
+  in_states[0] = RegState::AllTop();
+
+  std::deque<uint32_t> worklist;
+  std::vector<bool> queued(block_count, false);
+  worklist.push_back(0);
+  queued[0] = true;
+
+  while (!worklist.empty()) {
+    uint32_t b = worklist.front();
+    worklist.pop_front();
+    queued[b] = false;
+    const BasicBlock& block = cfg.blocks()[b];
+
+    RegState state = in_states[b];
+    for (size_t i = 0; i < block.insn_count; ++i) {
+      ApplyTransfer(sweep.insns[block.first_insn + i], state);
+    }
+    if (state == out_states[b]) {
+      continue;  // memoized exit state: successors already saw these facts
+    }
+    out_states[b] = state;
+    for (uint32_t succ : block.succs) {
+      if (in_states[succ].JoinFrom(state) && !queued[succ]) {
+        worklist.push_back(succ);
+        queued[succ] = true;
+      }
+    }
+  }
+
+  // Final pass: expand per-block entry states to per-instruction states.
+  std::vector<RegState> states(sweep.insns.size(), RegState::AllBottom());
+  for (uint32_t b = 0; b < block_count; ++b) {
+    const BasicBlock& block = cfg.blocks()[b];
+    RegState state = in_states[b];
+    for (size_t i = 0; i < block.insn_count; ++i) {
+      states[block.first_insn + i] = state;
+      ApplyTransfer(sweep.insns[block.first_insn + i], state);
+    }
+  }
+  return states;
+}
+
+}  // namespace
+
+std::vector<RegState> ComputeInsnStates(const disasm::SweepResult& sweep,
+                                        const ControlFlowGraph& cfg,
+                                        PropagationMode mode) {
+  if (mode == PropagationMode::kLinear) {
+    return LinearStates(sweep, cfg);
+  }
+  return DataflowStates(sweep, cfg);
+}
+
+}  // namespace lapis::analysis

@@ -1,0 +1,102 @@
+// Register constant propagation for the per-binary analysis (paper §2.3).
+//
+// The lattice per register is flat: ⊥ (kBottom — no path reaches here yet)
+// below the two incomparable known facts kConst(n) and kRodataPtr(addr),
+// with ⊤ (kTop — any value) above everything.
+//
+// Two propagation modes share one transfer function:
+//
+//  * kLinear — the paper's single-pass back-tracking. State flows along the
+//    sweep order only; any instruction that is an in-function branch target
+//    may be reached from elsewhere with different register contents, so the
+//    state is conservatively dropped to ⊤ there (this is the fix for the
+//    historical kJccRel fall-through leak: `mov eax,N1; jcc L; mov eax,N2;
+//    L: syscall` must not claim the site is confidently N2).
+//
+//  * kDataflow — a worklist fixpoint over the ControlFlowGraph: block entry
+//    states join (per register) over all predecessors, block exit states
+//    are memoized so unchanged blocks never re-propagate, and loops iterate
+//    to convergence (the flat lattice bounds each register to two drops, so
+//    termination is immediate). Merge points where every path agrees keep
+//    the constant; disagreeing paths join to ⊤ and the site is counted
+//    unknown instead of confidently wrong.
+//
+// Both modes return the register state *before* every instruction, which is
+// what BinaryAnalyzer consumes at syscall / vectored-call / PLT sites.
+
+#ifndef LAPIS_SRC_ANALYSIS_DATAFLOW_H_
+#define LAPIS_SRC_ANALYSIS_DATAFLOW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/disasm/insn.h"
+
+namespace lapis::analysis {
+
+// Abstract value of one register.
+struct AbsVal {
+  enum class Kind : uint8_t { kBottom, kConst, kRodataPtr, kTop };
+  Kind kind = Kind::kTop;
+  int64_t value = 0;
+
+  static AbsVal Bottom() { return AbsVal{Kind::kBottom, 0}; }
+  static AbsVal Top() { return AbsVal{Kind::kTop, 0}; }
+  static AbsVal Const(int64_t v) { return AbsVal{Kind::kConst, v}; }
+  static AbsVal Rodata(uint64_t vaddr) {
+    return AbsVal{Kind::kRodataPtr, static_cast<int64_t>(vaddr)};
+  }
+
+  bool is_const() const { return kind == Kind::kConst; }
+  bool is_rodata() const { return kind == Kind::kRodataPtr; }
+
+  bool operator==(const AbsVal& other) const {
+    return kind == other.kind &&
+           (kind == Kind::kBottom || kind == Kind::kTop ||
+            value == other.value);
+  }
+
+  // Least upper bound of two lattice values.
+  static AbsVal Join(const AbsVal& a, const AbsVal& b);
+};
+
+// Abstract state of the 16 general-purpose registers.
+struct RegState {
+  AbsVal regs[16];
+
+  static RegState AllBottom();
+  static RegState AllTop();
+
+  void SetAllTop();
+  // System V AMD64 caller-saved registers become ⊤ across a call.
+  void ClobberCallerSaved();
+  // Joins `other` into this state; returns true if anything changed.
+  bool JoinFrom(const RegState& other);
+  bool operator==(const RegState& other) const;
+};
+
+// Applies one instruction's register effects to `state`. This is the single
+// transfer function shared by both propagation modes (and mirrored by the
+// DynamicTracer's concrete machine): mov-imm / xor-zero / reg-reg moves /
+// rip-relative lea produce facts; calls clobber caller-saved registers;
+// syscall-family instructions clobber the kernel-written registers
+// (rax/rcx/r11); unmodeled instructions conservatively drop rax.
+void ApplyTransfer(const disasm::Insn& insn, RegState& state);
+
+enum class PropagationMode : uint8_t {
+  kLinear,    // paper-faithful single pass (ablation baseline)
+  kDataflow,  // CFG worklist fixpoint (default)
+};
+
+// Computes the register state immediately before each instruction of one
+// function body. `cfg` must have been built from `sweep`. Instructions in
+// blocks no in-function path reaches keep all-⊥ states; call-site consumers
+// treat non-const values as unknown either way, so ⊥ stays conservative.
+std::vector<RegState> ComputeInsnStates(const disasm::SweepResult& sweep,
+                                        const ControlFlowGraph& cfg,
+                                        PropagationMode mode);
+
+}  // namespace lapis::analysis
+
+#endif  // LAPIS_SRC_ANALYSIS_DATAFLOW_H_

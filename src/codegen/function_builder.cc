@@ -99,6 +99,11 @@ void FunctionBuilder::CallLocal(uint32_t function_index) {
   PutU32(0);
 }
 
+void FunctionBuilder::JccShortForward(uint8_t cc, uint8_t skip) {
+  PutU8(static_cast<uint8_t>(0x70 | (cc & 0x0f)));
+  PutU8(skip);
+}
+
 void FunctionBuilder::PushReg(uint8_t reg) {
   EmitRexIfNeeded(reg);
   PutU8(static_cast<uint8_t>(0x50 + (reg & 7)));

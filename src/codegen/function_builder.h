@@ -49,6 +49,12 @@ class FunctionBuilder {
   // call rel32 to another function in the same binary.
   void CallLocal(uint32_t function_index);
 
+  // jcc rel8 (70+cc) skipping `skip` bytes of code emitted after it. The
+  // caller emits exactly `skip` bytes next; the branch target is the first
+  // instruction after them. Condition codes use the Intel encoding
+  // (0x4 = e/z, 0x5 = ne/nz, ...).
+  void JccShortForward(uint8_t cc, uint8_t skip);
+
   void PushReg(uint8_t reg);
   void PopReg(uint8_t reg);
   void SubRspImm8(uint8_t imm);

@@ -24,6 +24,18 @@ void EmitDirectSyscall(FunctionBuilder& fn, int nr) {
   fn.Syscall();
 }
 
+// Emits `mov eax, nr; jne L; nop; L: syscall` — a branch-guarded site
+// (compiler error-path idiom) where every path into the syscall carries the
+// same number. CFG dataflow joins the paths back to the constant; the
+// linear ablation must reset at the branch target and reports the site
+// unknown.
+void EmitGuardedSyscall(FunctionBuilder& fn, int nr) {
+  fn.MovRegImm32(disasm::kRax, static_cast<uint32_t>(nr));
+  fn.JccShortForward(0x5, 1);  // jne over the nop; eax holds nr either way
+  fn.Nop(1);
+  fn.Syscall();
+}
+
 // Emits a direct vectored syscall with a constant opcode.
 void EmitVectoredSyscall(FunctionBuilder& fn, int nr, uint8_t op_reg,
                          uint32_t op) {
@@ -383,6 +395,16 @@ Result<std::vector<SynthesizedBinary>> DistroSynthesizer::PackageBinaries(
         main_fn.MovRegImm32Obfuscated(
             disasm::kRax, static_cast<uint32_t>(*SyscallNumber("read")));
         main_fn.Syscall();
+      }
+      // Branch-guarded sites: recoverable only with CFG dataflow (the
+      // linear ablation degrades them to unknown). The number is the
+      // rank-1 syscall, already in this package's prefix footprint, so the
+      // recovered sets match in both modes — only unknown counters move.
+      if (plan.guarded_syscall_sites > 0 && plan.syscall_prefix_rank >= 1) {
+        int guarded_nr = spec_.syscall_rank_order[0];
+        for (int g = 0; g < plan.guarded_syscall_sites; ++g) {
+          EmitGuardedSyscall(main_fn, guarded_nr);
+        }
       }
     } else {
       // Secondary executables are light: a few common calls.

@@ -288,6 +288,20 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
     plan.emits_obfuscated_site = prng.NextBool(0.04);
     app_indexes.push_back(add_package(std::move(plan)));
   }
+  // Branch-guarded syscall sites, drawn from a forked generator so every
+  // other plan draw (and therefore the rest of the corpus) is identical
+  // with or without them. The guarded number is the rank-1 syscall, already
+  // in every prefix footprint: only the unknown-site counters move between
+  // analysis modes, never the recovered sets.
+  {
+    Prng guard_prng(options.seed ^ 0x6a63635f67726448ULL);
+    for (size_t index : app_indexes) {
+      if (guard_prng.NextBool(0.30)) {
+        spec.packages[index].guarded_syscall_sites =
+            1 + static_cast<int>(guard_prng.NextBelow(2));
+      }
+    }
+  }
 
   // Static-binary packages (paper: 0.38% of ELF binaries are static). A
   // couple are pre-x86-64 relics still using the int $0x80 gate.

@@ -91,6 +91,11 @@ struct PackagePlan {
   // Emits one arithmetic-obfuscated syscall-number load (the paper's 4% of
   // undeterminable call sites).
   bool emits_obfuscated_site = false;
+  // Branch-guarded direct syscall sites (`mov eax,N; jcc L; nop; L:
+  // syscall` — a compiler error-path idiom). Every path into the site
+  // carries the same number, so CFG dataflow recovers it while the linear
+  // ablation must degrade the merge point to unknown.
+  int guarded_syscall_sites = 0;
 
   std::vector<std::string> depends;       // package names
   std::string interpreter_package;        // for script packages

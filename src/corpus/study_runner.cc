@@ -50,7 +50,9 @@ struct PackageScripts {
 // Synthesizes and analyzes every ELF binary of one package. Pure: touches
 // only the (const) synthesizer and its own shard — safe on any worker.
 PackageAnalysis AnalyzePackage(const DistroSynthesizer& synthesizer,
-                               const DistroSpec& spec, size_t pkg) {
+                               const DistroSpec& spec,
+                               const analysis::AnalyzerOptions& analyzer,
+                               size_t pkg) {
   PackageAnalysis out;
   const PackagePlan& plan = spec.packages[pkg];
   if (plan.data_only || !plan.interpreter_package.empty()) {
@@ -67,7 +69,7 @@ PackageAnalysis AnalyzePackage(const DistroSynthesizer& synthesizer,
       out.status = image.status();
       return out;
     }
-    auto analysis = BinaryAnalyzer::Analyze(image.value());
+    auto analysis = BinaryAnalyzer::Analyze(image.value(), analyzer);
     if (!analysis.ok()) {
       out.status = analysis.status();
       return out;
@@ -156,6 +158,7 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
 
   StudyResult result;
   result.jobs_used = executor->thread_count();
+  result.analyzer_options = options.analyzer;
   runtime::PipelineStats& stats = result.pipeline_stats;
 
   {
@@ -185,14 +188,15 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
       std::shared_ptr<const BinaryAnalysis> analysis;
     };
     auto shards = runtime::ParallelMap(
-        executor, core_libs.size(), [&core_libs](size_t i) {
+        executor, core_libs.size(), [&core_libs, &options](size_t i) {
           CoreShard shard;
           auto image = elf::ElfReader::Parse(core_libs[i].bytes);
           if (!image.ok()) {
             shard.status = image.status();
             return shard;
           }
-          auto analysis = BinaryAnalyzer::Analyze(image.value());
+          auto analysis =
+              BinaryAnalyzer::Analyze(image.value(), options.analyzer);
           if (!analysis.ok()) {
             shard.status = analysis.status();
             return shard;
@@ -229,8 +233,10 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
   {
     runtime::StageTimer timer(&stats, "synthesize+analyze");
     analyzed = runtime::ParallelMap(
-        executor, package_count, [&synthesizer, &result](size_t pkg) {
-          return AnalyzePackage(synthesizer, result.spec, pkg);
+        executor, package_count,
+        [&synthesizer, &result, &options](size_t pkg) {
+          return AnalyzePackage(synthesizer, result.spec, options.analyzer,
+                                pkg);
         });
     for (const auto& shard : analyzed) {
       timer.AddItems(shard.binaries.size());
@@ -369,6 +375,126 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
       result.ground_truth_mismatches += mismatch;
     }
     timer.AddItems(package_count);
+  }
+
+  // ---- Differential soundness audit (optional) ----
+  // Replays every executable in the DynamicTracer and compares against the
+  // static footprint. The auditor shares the study's fully-built resolver,
+  // so the expensive per-export reachability is not recomputed; binaries
+  // are re-synthesized because the analysis stage dropped their bytes.
+  if (options.audit) {
+    runtime::StageTimer timer(&stats, "audit");
+    analysis::FootprintAuditor auditor(&resolver, options.analyzer,
+                                       executor);
+
+    struct AuditBinary {
+      std::string name;
+      bool is_library = false;
+      std::shared_ptr<const elf::ElfImage> image;
+    };
+    struct AuditShard {
+      Status status;
+      std::vector<AuditBinary> binaries;
+    };
+
+    // Core libraries: the tracer follows PLT calls into them.
+    {
+      LAPIS_ASSIGN_OR_RETURN(auto core_libs, synthesizer.CoreLibraries());
+      auto core_shards = runtime::ParallelMap(
+          executor, core_libs.size(), [&core_libs](size_t i) {
+            AuditShard shard;
+            auto image = elf::ElfReader::Parse(core_libs[i].bytes);
+            if (!image.ok()) {
+              shard.status = image.status();
+              return shard;
+            }
+            AuditBinary binary;
+            binary.name = core_libs[i].name;
+            binary.is_library = true;
+            binary.image =
+                std::make_shared<const elf::ElfImage>(image.take());
+            shard.binaries.push_back(std::move(binary));
+            return shard;
+          });
+      for (auto& shard : core_shards) {
+        LAPIS_RETURN_IF_ERROR(shard.status);
+        for (auto& binary : shard.binaries) {
+          LAPIS_RETURN_IF_ERROR(auditor.AddLibrary(binary.image));
+        }
+      }
+    }
+
+    // Re-synthesize + parse package binaries on worker shards (the image
+    // copies the bytes, so the synth output dies inside the shard).
+    auto audit_inputs = runtime::ParallelMap(
+        executor, package_count, [&synthesizer, &result](size_t pkg) {
+          AuditShard shard;
+          const PackagePlan& plan = result.spec.packages[pkg];
+          if (plan.data_only || !plan.interpreter_package.empty()) {
+            return shard;
+          }
+          auto binaries = synthesizer.PackageBinaries(pkg);
+          if (!binaries.ok()) {
+            shard.status = binaries.status();
+            return shard;
+          }
+          for (auto& synthesized : binaries.value()) {
+            auto image = elf::ElfReader::Parse(synthesized.bytes);
+            if (!image.ok()) {
+              shard.status = image.status();
+              return shard;
+            }
+            AuditBinary binary;
+            binary.name = std::move(synthesized.name);
+            binary.is_library = synthesized.is_library;
+            binary.image =
+                std::make_shared<const elf::ElfImage>(image.take());
+            shard.binaries.push_back(std::move(binary));
+          }
+          return shard;
+        });
+    // Package libraries register in canonical order before any replay.
+    for (auto& shard : audit_inputs) {
+      LAPIS_RETURN_IF_ERROR(shard.status);
+      for (auto& binary : shard.binaries) {
+        if (binary.is_library) {
+          LAPIS_RETURN_IF_ERROR(auditor.AddLibrary(binary.image));
+        }
+      }
+    }
+
+    // Replay executables in parallel; fold in canonical (package, binary)
+    // order so the report is identical at every worker count.
+    struct AuditOutcome {
+      Status status;
+      std::vector<analysis::BinaryAuditResult> results;
+    };
+    auto audit_outcomes = runtime::ParallelMap(
+        executor, package_count, [&audit_inputs, &auditor](size_t pkg) {
+          AuditOutcome out;
+          for (const auto& binary : audit_inputs[pkg].binaries) {
+            if (binary.is_library) {
+              continue;
+            }
+            auto audited =
+                auditor.AuditExecutable(*binary.image, binary.name);
+            if (!audited.ok()) {
+              out.status = audited.status();
+              return out;
+            }
+            out.results.push_back(audited.take());
+          }
+          return out;
+        });
+    analysis::AuditReport report;
+    for (auto& outcome : audit_outcomes) {
+      LAPIS_RETURN_IF_ERROR(outcome.status);
+      for (auto& binary_result : outcome.results) {
+        report.Fold(std::move(binary_result));
+      }
+    }
+    timer.AddItems(report.executables_audited);
+    result.audit = std::move(report);
   }
 
   // ---- Popularity-contest survey ----

@@ -18,10 +18,12 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/analysis/audit.h"
 #include "src/core/api_id.h"
 #include "src/core/dataset.h"
 #include "src/corpus/binary_synth.h"
@@ -38,6 +40,13 @@ struct StudyOptions {
   DistroOptions distro;
   // Verify recovered footprints against the plan (slower; tests enable).
   bool verify_ground_truth = true;
+  // Static-analysis methodology switches. `analyzer.use_dataflow` is the
+  // ablation lever: true = CFG constant propagation (default), false = the
+  // soundness-fixed linear baseline.
+  analysis::AnalyzerOptions analyzer;
+  // Differentially replay every executable in the DynamicTracer against its
+  // resolved static footprint (audit.h) and attach the AuditReport.
+  bool audit = false;
   // Retain joint popcon samples for the independence ablation.
   uint64_t popcon_retain_samples = 0;
   // Install-profile correlation (see package::PopconOptions); 0 = off.
@@ -90,6 +99,11 @@ struct StudyResult {
   std::set<int> int80_numbers;
   size_t ground_truth_mismatches = 0;
   size_t analyzed_binaries = 0;
+
+  // Analyzer switches the run used (echoed from StudyOptions::analyzer).
+  analysis::AnalyzerOptions analyzer_options;
+  // Footprint soundness audit (present iff StudyOptions::audit was set).
+  std::optional<analysis::AuditReport> audit;
 
   // Per-package binary counts with hard-coded pseudo paths (Fig 6 counts).
   std::map<std::string, size_t> pseudo_path_binary_counts;

@@ -343,9 +343,11 @@ TEST(BinaryAnalyzer, UndecodableFunctionMarkedIncomplete) {
 }
 
 TEST(BinaryAnalyzer, StateResetAfterUnconditionalJump) {
-  // mov rsi, imm; jmp over; ...; target: call ioctl -- after the jmp the
-  // tracker must not assume rsi still holds the constant (the code at the
-  // target may be reached from elsewhere).
+  // mov rsi, imm; jmp over; ...; target: call ioctl -- the linear sweep
+  // must not assume rsi still holds the constant at the jump target (it
+  // may be reached from elsewhere). CFG dataflow proves the jmp is the
+  // target's only predecessor, so there the constant legitimately
+  // survives (the dynamic replay agrees -- a precision win, not a leak).
   ElfBuilder builder(BinaryType::kExecutable);
   builder.AddNeeded("libc.so.6");
   uint32_t ioctl_imp = builder.AddImport("ioctl");
@@ -366,10 +368,77 @@ TEST(BinaryAnalyzer, StateResetAfterUnconditionalJump) {
   uint32_t idx = builder.AddFunction(std::move(def));
   ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
   auto image = Parse(builder.Build());
-  BinaryAnalysis analysis = Analyze(image);
-  auto fp = analysis.FromEntry().footprint;
-  EXPECT_TRUE(fp.ioctl_ops.empty());
-  EXPECT_EQ(fp.unknown_opcode_sites, 1);
+
+  BinaryAnalyzer::Options linear;
+  linear.use_dataflow = false;
+  auto linear_analysis = BinaryAnalyzer::Analyze(image, linear);
+  ASSERT_TRUE(linear_analysis.ok());
+  auto linear_fp = linear_analysis.value().FromEntry().footprint;
+  EXPECT_TRUE(linear_fp.ioctl_ops.empty());
+  EXPECT_EQ(linear_fp.unknown_opcode_sites, 1);
+
+  BinaryAnalysis dataflow_analysis = Analyze(image);
+  auto dataflow_fp = dataflow_analysis.FromEntry().footprint;
+  EXPECT_EQ(dataflow_fp.ioctl_ops, (std::set<uint32_t>{0x5401}));
+  EXPECT_EQ(dataflow_fp.unknown_opcode_sites, 0);
+}
+
+TEST(BinaryAnalyzer, ConditionalBranchNeverLeaksOnePathsConstant) {
+  // mov eax, 1; je L; mov eax, 60; L: syscall -- the site executes as
+  // write(1) or exit(60) depending on the flags. The historical kJccRel
+  // leak reported a confident {60} here; both modes must instead count
+  // the site unknown (dataflow joins 1 and 60 to top; the linear sweep
+  // resets at the branch target).
+  ElfBuilder builder(BinaryType::kExecutable);
+  FunctionBuilder fn("_start");
+  fn.MovRegImm32(disasm::kRax, 1);
+  fn.JccShortForward(0x4, 5);  // je over the 5-byte mov below
+  fn.MovRegImm32(disasm::kRax, 60);
+  fn.Syscall();
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  auto image = Parse(builder.Build());
+
+  for (bool use_dataflow : {false, true}) {
+    BinaryAnalyzer::Options options;
+    options.use_dataflow = use_dataflow;
+    auto analysis = BinaryAnalyzer::Analyze(image, options);
+    ASSERT_TRUE(analysis.ok());
+    auto fp = analysis.value().FromEntry().footprint;
+    EXPECT_TRUE(fp.syscalls.empty())
+        << "use_dataflow=" << use_dataflow;
+    EXPECT_EQ(fp.unknown_syscall_sites, 1)
+        << "use_dataflow=" << use_dataflow;
+  }
+}
+
+TEST(BinaryAnalyzer, GuardedConstantSurvivesJoinOnlyWithDataflow) {
+  // mov eax, 39; jne L; nop; L: syscall -- both paths into the site carry
+  // the same constant. The CFG join keeps it; the linear baseline must
+  // still drop to unknown at the merge point.
+  ElfBuilder builder(BinaryType::kExecutable);
+  FunctionBuilder fn("_start");
+  fn.MovRegImm32(disasm::kRax, 39);
+  fn.JccShortForward(0x5, 1);  // jne over the nop
+  fn.Nop(1);
+  fn.Syscall();
+  fn.Ret();
+  uint32_t idx = builder.AddFunction(fn.Finish(false));
+  ASSERT_TRUE(builder.SetEntryFunction(idx).ok());
+  auto image = Parse(builder.Build());
+
+  BinaryAnalysis dataflow_analysis = Analyze(image);
+  EXPECT_EQ(dataflow_analysis.FromEntry().footprint.syscalls,
+            (std::set<int>{39}));
+  EXPECT_EQ(dataflow_analysis.unknown_syscall_sites, 0);
+
+  BinaryAnalyzer::Options linear;
+  linear.use_dataflow = false;
+  auto linear_analysis = BinaryAnalyzer::Analyze(image, linear);
+  ASSERT_TRUE(linear_analysis.ok());
+  EXPECT_TRUE(linear_analysis.value().FromEntry().footprint.syscalls.empty());
+  EXPECT_EQ(linear_analysis.value().unknown_syscall_sites, 1);
 }
 
 // ---------------- Library resolution ----------------

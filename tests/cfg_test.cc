@@ -1,0 +1,189 @@
+// ControlFlowGraph construction and dataflow constant-propagation tests
+// over hand-assembled instruction sequences with known block structure.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/dataflow.h"
+#include "src/disasm/decoder.h"
+
+namespace lapis::analysis {
+namespace {
+
+disasm::SweepResult Sweep(const std::vector<uint8_t>& bytes) {
+  auto result = disasm::LinearSweep(bytes, 0x1000);
+  EXPECT_TRUE(result.complete);
+  return result;
+}
+
+std::vector<uint32_t> Sorted(std::vector<uint32_t> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(ControlFlowGraph, StraightLineIsOneBlock) {
+  // mov eax, 1; syscall; ret
+  auto sweep = Sweep({0xb8, 0x01, 0x00, 0x00, 0x00, 0x0f, 0x05, 0xc3});
+  auto cfg = ControlFlowGraph::Build(sweep);
+  ASSERT_EQ(cfg.block_count(), 1u);
+  EXPECT_EQ(cfg.blocks()[0].first_insn, 0u);
+  EXPECT_EQ(cfg.blocks()[0].insn_count, 3u);
+  EXPECT_TRUE(cfg.blocks()[0].succs.empty());
+  EXPECT_FALSE(cfg.IsBranchTarget(0));
+}
+
+TEST(ControlFlowGraph, EmptySweepYieldsEmptyGraph) {
+  auto cfg = ControlFlowGraph::Build(disasm::SweepResult{});
+  EXPECT_EQ(cfg.block_count(), 0u);
+  EXPECT_EQ(cfg.insn_count(), 0u);
+}
+
+TEST(ControlFlowGraph, ConditionalBranchMakesDiamond) {
+  // 0: mov eax, 1
+  // 1: je +5        (over the next mov, to insn 3)
+  // 2: mov eax, 60
+  // 3: syscall      <- join point, two predecessors
+  // 4: ret
+  auto sweep = Sweep({0xb8, 0x01, 0x00, 0x00, 0x00,
+                      0x74, 0x05,
+                      0xb8, 0x3c, 0x00, 0x00, 0x00,
+                      0x0f, 0x05,
+                      0xc3});
+  auto cfg = ControlFlowGraph::Build(sweep);
+  ASSERT_EQ(cfg.block_count(), 3u);
+
+  const uint32_t entry = cfg.BlockOfInsn(0);
+  const uint32_t fallthrough = cfg.BlockOfInsn(2);
+  const uint32_t join = cfg.BlockOfInsn(3);
+  EXPECT_EQ(entry, 0u);  // entry block holds the first instruction
+  EXPECT_EQ(cfg.BlockOfInsn(1), entry);
+  EXPECT_EQ(cfg.BlockOfInsn(4), join);
+
+  EXPECT_EQ(Sorted(cfg.blocks()[entry].succs),
+            Sorted({fallthrough, join}));
+  EXPECT_EQ(cfg.blocks()[fallthrough].succs,
+            (std::vector<uint32_t>{join}));
+  EXPECT_EQ(Sorted(cfg.blocks()[join].preds),
+            Sorted({entry, fallthrough}));
+  EXPECT_TRUE(cfg.blocks()[join].succs.empty());
+
+  EXPECT_TRUE(cfg.IsBranchTarget(3));
+  EXPECT_FALSE(cfg.IsBranchTarget(2));
+}
+
+TEST(ControlFlowGraph, UnconditionalJumpHasNoFallthroughEdge) {
+  // 0: mov eax, 1
+  // 1: jmp +0   (to insn 2 -- sole predecessor of the target block)
+  // 2: syscall
+  // 3: ret
+  auto sweep = Sweep({0xb8, 0x01, 0x00, 0x00, 0x00,
+                      0xeb, 0x00,
+                      0x0f, 0x05,
+                      0xc3});
+  auto cfg = ControlFlowGraph::Build(sweep);
+  ASSERT_EQ(cfg.block_count(), 2u);
+  EXPECT_EQ(cfg.blocks()[0].succs, (std::vector<uint32_t>{1}));
+  EXPECT_EQ(cfg.blocks()[1].preds, (std::vector<uint32_t>{0}));
+  EXPECT_TRUE(cfg.IsBranchTarget(2));
+}
+
+TEST(ControlFlowGraph, BranchOutOfFunctionContributesNoEdge) {
+  // jmp way past the end of the body: stays a terminator, no edge.
+  auto sweep = Sweep({0xeb, 0x40, 0xc3});
+  auto cfg = ControlFlowGraph::Build(sweep);
+  ASSERT_EQ(cfg.block_count(), 2u);
+  EXPECT_TRUE(cfg.blocks()[0].succs.empty());
+  EXPECT_TRUE(cfg.blocks()[1].preds.empty());
+}
+
+TEST(AbsVal, JoinLattice) {
+  const AbsVal c5 = AbsVal::Const(5);
+  const AbsVal c6 = AbsVal::Const(6);
+  const AbsVal ro = AbsVal::Rodata(0x2000);
+  EXPECT_EQ(AbsVal::Join(AbsVal::Bottom(), c5), c5);
+  EXPECT_EQ(AbsVal::Join(c5, AbsVal::Bottom()), c5);
+  EXPECT_EQ(AbsVal::Join(c5, c5), c5);
+  EXPECT_EQ(AbsVal::Join(ro, ro), ro);
+  EXPECT_EQ(AbsVal::Join(c5, c6), AbsVal::Top());
+  EXPECT_EQ(AbsVal::Join(c5, ro), AbsVal::Top());
+  EXPECT_EQ(AbsVal::Join(AbsVal::Top(), c5), AbsVal::Top());
+  EXPECT_EQ(AbsVal::Join(AbsVal::Bottom(), AbsVal::Bottom()),
+            AbsVal::Bottom());
+}
+
+TEST(Dataflow, TransferClobbersKernelRegistersAtSyscall) {
+  auto sweep = Sweep({0xb8, 0x27, 0x00, 0x00, 0x00,  // mov eax, 39
+                      0x0f, 0x05});                  // syscall
+  RegState state = RegState::AllTop();
+  state.regs[disasm::kRbx] = AbsVal::Const(7);
+  ApplyTransfer(sweep.insns[0], state);
+  EXPECT_EQ(state.regs[disasm::kRax], AbsVal::Const(39));
+  ApplyTransfer(sweep.insns[1], state);
+  // rax/rcx/r11 are kernel-written; callee-saved rbx survives.
+  EXPECT_EQ(state.regs[disasm::kRax], AbsVal::Top());
+  EXPECT_EQ(state.regs[disasm::kRcx], AbsVal::Top());
+  EXPECT_EQ(state.regs[disasm::kR11], AbsVal::Top());
+  EXPECT_EQ(state.regs[disasm::kRbx], AbsVal::Const(7));
+}
+
+TEST(Dataflow, DisagreeingPathsJoinToTop) {
+  // The kJccRel regression shape: mov eax,1; je L; mov eax,60; L: syscall.
+  auto sweep = Sweep({0xb8, 0x01, 0x00, 0x00, 0x00,
+                      0x74, 0x05,
+                      0xb8, 0x3c, 0x00, 0x00, 0x00,
+                      0x0f, 0x05,
+                      0xc3});
+  auto cfg = ControlFlowGraph::Build(sweep);
+
+  auto dataflow =
+      ComputeInsnStates(sweep, cfg, PropagationMode::kDataflow);
+  ASSERT_EQ(dataflow.size(), sweep.insns.size());
+  // Before the second mov only the branch-not-taken path arrives.
+  EXPECT_EQ(dataflow[2].regs[disasm::kRax], AbsVal::Const(1));
+  // At the join the two constants disagree -> top, never one of them.
+  EXPECT_EQ(dataflow[3].regs[disasm::kRax], AbsVal::Top());
+
+  auto linear = ComputeInsnStates(sweep, cfg, PropagationMode::kLinear);
+  EXPECT_EQ(linear[3].regs[disasm::kRax], AbsVal::Top());
+}
+
+TEST(Dataflow, AgreeingPathsKeepTheConstant) {
+  // Guarded site: mov eax,39; jne L; nop; L: syscall -- both paths agree.
+  auto sweep = Sweep({0xb8, 0x27, 0x00, 0x00, 0x00,
+                      0x75, 0x01,
+                      0x90,
+                      0x0f, 0x05,
+                      0xc3});
+  auto cfg = ControlFlowGraph::Build(sweep);
+
+  auto dataflow =
+      ComputeInsnStates(sweep, cfg, PropagationMode::kDataflow);
+  EXPECT_EQ(dataflow[3].regs[disasm::kRax], AbsVal::Const(39));
+
+  // The linear baseline cannot prove the agreement: branch target -> top.
+  auto linear = ComputeInsnStates(sweep, cfg, PropagationMode::kLinear);
+  EXPECT_EQ(linear[3].regs[disasm::kRax], AbsVal::Top());
+}
+
+TEST(Dataflow, LoopReachesFixpointWithoutLeakingConstants) {
+  // 0: mov eax, 1
+  // 1: syscall         <- loop head; first iteration rax=1, later top
+  // 2: mov eax, 60
+  // 3: jne -9          (back to insn 1)
+  // 4: ret
+  auto sweep = Sweep({0xb8, 0x01, 0x00, 0x00, 0x00,
+                      0x0f, 0x05,
+                      0xb8, 0x3c, 0x00, 0x00, 0x00,
+                      0x75, 0xf7,
+                      0xc3});
+  auto cfg = ControlFlowGraph::Build(sweep);
+  auto states = ComputeInsnStates(sweep, cfg, PropagationMode::kDataflow);
+  // Entry carries 1, the back edge carries 60: the loop head must be top.
+  EXPECT_EQ(states[1].regs[disasm::kRax], AbsVal::Top());
+}
+
+}  // namespace
+}  // namespace lapis::analysis

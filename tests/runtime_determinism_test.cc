@@ -23,10 +23,12 @@ struct Exports {
   size_t jobs_used = 0;
 };
 
-Exports RunAndExport(uint64_t seed, size_t jobs) {
+Exports RunAndExport(uint64_t seed, size_t jobs,
+                     bool use_dataflow = true) {
   corpus::StudyOptions options = corpus::SmallStudyOptions();
   options.distro.seed = seed;
   options.jobs = jobs;
+  options.analyzer.use_dataflow = use_dataflow;
   auto study = corpus::RunStudy(options);
   EXPECT_TRUE(study.ok()) << study.status().ToString();
   Exports out;
@@ -89,6 +91,46 @@ TEST_P(RuntimeDeterminismTest, ExportsAreByteIdenticalAcrossJobCounts) {
 INSTANTIATE_TEST_SUITE_P(TwoSeeds, RuntimeDeterminismTest,
                          ::testing::Values(uint64_t{20160418},
                                            uint64_t{424242}));
+
+// The linear-ablation pipeline must hold the same guarantee: byte-identical
+// exports at every worker count (the ablation switch changes what is
+// recovered, not whether recovery is deterministic).
+TEST(RuntimeDeterminism, LinearModeExportsAreByteIdenticalAcrossJobCounts) {
+  const uint64_t seed = 20160418;
+  Exports sequential = RunAndExport(seed, 1, /*use_dataflow=*/false);
+  ASSERT_FALSE(sequential.footprints.empty());
+  EXPECT_EQ(sequential.ground_truth_mismatches, 0u);
+  Exports parallel = RunAndExport(seed, 8, /*use_dataflow=*/false);
+  EXPECT_EQ(parallel.analyzed_binaries, sequential.analyzed_binaries);
+  EXPECT_EQ(parallel.importance, sequential.importance);
+  EXPECT_EQ(parallel.packages, sequential.packages);
+  EXPECT_EQ(parallel.footprints, sequential.footprints);
+}
+
+// Audit counters are folded in canonical order; the report must be
+// identical at any worker count.
+TEST(RuntimeDeterminism, AuditReportIsIdenticalAcrossJobCounts) {
+  corpus::StudyOptions options = corpus::SmallStudyOptions();
+  options.audit = true;
+  options.jobs = 1;
+  auto sequential = corpus::RunStudy(options);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+  ASSERT_TRUE(sequential.value().audit.has_value());
+
+  options.jobs = 8;
+  auto parallel = corpus::RunStudy(options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_TRUE(parallel.value().audit.has_value());
+
+  const auto& a = *sequential.value().audit;
+  const auto& b = *parallel.value().audit;
+  EXPECT_EQ(a.executables_audited, b.executables_audited);
+  EXPECT_EQ(a.soundness_violations, b.soundness_violations);
+  EXPECT_EQ(a.masked_by_unknown_sites, b.masked_by_unknown_sites);
+  EXPECT_EQ(a.static_only_apis, b.static_only_apis);
+  EXPECT_EQ(a.observed_apis, b.observed_apis);
+  EXPECT_EQ(a.Summary(), b.Summary());
+}
 
 }  // namespace
 }  // namespace lapis

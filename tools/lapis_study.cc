@@ -98,6 +98,12 @@ int main(int argc, char** argv) {
   flags.AddInt("jobs", 0,
                "worker threads for the pipeline (0 = all cores, 1 = "
                "sequential); exports are identical at any value");
+  flags.AddString("analysis", "dataflow",
+                  "constant-propagation mode: dataflow (CFG join) or "
+                  "linear (sound sweep baseline)");
+  flags.AddBool("audit", false,
+                "differentially replay every executable against its "
+                "static footprint and report soundness/precision");
   auto status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -139,7 +145,21 @@ int main(int argc, char** argv) {
       return 2;
     }
     options.jobs = static_cast<size_t>(flags.GetInt("jobs"));
-    std::printf("generating corpus and running the analysis pipeline...\n");
+    const std::string& analysis_mode = flags.GetString("analysis");
+    if (analysis_mode == "dataflow") {
+      options.analyzer.use_dataflow = true;
+    } else if (analysis_mode == "linear") {
+      options.analyzer.use_dataflow = false;
+    } else {
+      std::fprintf(stderr,
+                   "--analysis must be 'dataflow' or 'linear' (got %s)\n",
+                   analysis_mode.c_str());
+      return 2;
+    }
+    options.audit = flags.GetBool("audit");
+    std::printf("generating corpus and running the analysis pipeline "
+                "(%s constant propagation)...\n",
+                analysis_mode.c_str());
     auto study = corpus::RunStudy(options);
     if (!study.ok()) {
       std::fprintf(stderr, "study failed: %s\n",
@@ -151,6 +171,18 @@ int main(int argc, char** argv) {
         "(ground-truth mismatches: %zu)\n",
         study.value().analyzed_binaries, study.value().spec.packages.size(),
         study.value().ground_truth_mismatches);
+    std::printf("syscall sites: %d total, %d unknown\n",
+                study.value().total_syscall_sites,
+                study.value().unknown_syscall_sites);
+    if (study.value().audit.has_value()) {
+      std::printf("%s\n", study.value().audit->Summary().c_str());
+      for (const auto& flagged : study.value().audit->flagged) {
+        for (const auto& finding : flagged.violations) {
+          std::printf("  VIOLATION %s: %s\n", flagged.name.c_str(),
+                      finding.Describe().c_str());
+        }
+      }
+    }
     const auto& xstats = study.value().executor_stats;
     std::printf(
         "pipeline: %zu worker thread(s), %zu tasks executed, %zu steals, "
