@@ -1,15 +1,32 @@
 // Pipeline micro-benchmarks (google-benchmark): disassembly throughput,
 // per-binary analysis, cross-library resolution, metric computation, and
 // the db-backed aggregation path.
+//
+// main() first runs a cold/warm end-to-end study pair against one shared
+// content-addressed cache and writes the measured numbers (host topology,
+// per-stage wall/CPU, cache hit rate, speedup) to BENCH_pipeline.json
+// (override with LAPIS_BENCH_JSON; LAPIS_BENCH_APPS / LAPIS_BENCH_INSTALLS
+// / LAPIS_BENCH_JOBS scale the pair), then hands over to the registered
+// google-benchmark suite.
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/binary_analyzer.h"
 #include "src/analysis/library_resolver.h"
+#include "src/cache/footprint_cache.h"
 #include "src/core/completeness.h"
 #include "src/corpus/binary_synth.h"
 #include "src/corpus/distro_spec.h"
@@ -20,6 +37,8 @@
 #include "src/disasm/decoder.h"
 #include "src/elf/elf_reader.h"
 #include "src/runtime/executor.h"
+#include "src/runtime/stage_stats.h"
+#include "src/util/env.h"
 
 namespace lapis {
 namespace {
@@ -264,7 +283,213 @@ void BM_PopconSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_PopconSimulation);
 
+// --- Cold/warm study pair + BENCH_pipeline.json ---------------------------
+
+std::string CpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    auto colon = line.find(':');
+    if (colon != std::string::npos &&
+        line.compare(0, 10, "model name") == 0) {
+      size_t start = line.find_first_not_of(" \t", colon + 1);
+      return start == std::string::npos ? "" : line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+std::string KernelRelease() {
+  std::ifstream in("/proc/sys/kernel/osrelease");
+  std::string release;
+  std::getline(in, release);
+  return release.empty() ? "unknown" : release;
+}
+
+std::string IsoDate() {
+  std::time_t now = std::time(nullptr);
+  char buf[16];
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm_utc);
+  return buf;
+}
+
+struct TimedStudy {
+  corpus::StudyResult result;
+  double wall_seconds = 0.0;
+};
+
+void AppendStages(std::ostringstream& os, const corpus::StudyResult& study) {
+  os << "      \"stages\": {";
+  bool first = true;
+  for (const auto& [stage, record] : study.pipeline_stats.stages()) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "\n        \"%s\": { \"wall_s\": %.3f, \"cpu_s\": %.3f, "
+                  "\"items\": %" PRIu64 " }",
+                  stage.c_str(), record.wall_seconds, record.cpu_seconds,
+                  record.items);
+    os << buf;
+  }
+  os << "\n      }";
+}
+
+void AppendRun(std::ostringstream& os, const char* label,
+               const TimedStudy& run) {
+  const auto& cs = run.result.cache_stats;
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "    \"%s\": {\n"
+      "      \"wall_s\": %.3f,\n"
+      "      \"pipeline_wall_s\": %.3f,\n"
+      "      \"pipeline_cpu_s\": %.3f,\n"
+      "      \"cache\": { \"hits\": %" PRIu64 ", \"lookups\": %" PRIu64
+      ", \"hit_rate\": %.4f, \"analyses_restored\": %zu, "
+      "\"analyzed_binaries\": %zu, \"resolutions_restored\": %zu, "
+      "\"kib_read\": %" PRIu64 ", \"kib_written\": %" PRIu64 " },\n",
+      label, run.wall_seconds, run.result.pipeline_stats.TotalWallSeconds(),
+      run.result.pipeline_stats.TotalCpuSeconds(), cs.hits, cs.Lookups(),
+      cs.HitRate(), run.result.analyses_from_cache,
+      run.result.analyzed_binaries, run.result.resolutions_from_cache,
+      cs.bytes_read / 1024, cs.bytes_written / 1024);
+  os << buf;
+  AppendStages(os, run.result);
+  os << "\n    }";
+}
+
+int WriteColdWarmJson() {
+  corpus::StudyOptions options;
+  options.distro.app_package_count = EnvSizeOr("LAPIS_BENCH_APPS", 3000);
+  options.distro.installation_count =
+      EnvSizeOr("LAPIS_BENCH_INSTALLS", 100000);
+  options.jobs = EnvSizeOr("LAPIS_BENCH_JOBS", 0);
+
+  auto cache_dir = std::filesystem::temp_directory_path() /
+                   ("lapis-bench-cache-" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);
+  auto cache = cache::FootprintCache::Open(cache_dir.string());
+  if (!cache.ok()) {
+    std::fprintf(stderr, "cache open failed: %s\n",
+                 cache.status().ToString().c_str());
+    return 1;
+  }
+  options.cache = cache.value().get();
+
+  auto run_once = [&options](const char* label) -> Result<TimedStudy> {
+    std::fprintf(stderr, "[bench_pipeline_perf] %s study run...\n", label);
+    double start = runtime::MonotonicSeconds();
+    auto study = corpus::RunStudy(options);
+    double wall = runtime::MonotonicSeconds() - start;
+    if (!study.ok()) {
+      return study.status();
+    }
+    return TimedStudy{study.take(), wall};
+  };
+
+  auto cold = run_once("cold");
+  if (!cold.ok()) {
+    std::fprintf(stderr, "cold study failed: %s\n",
+                 cold.status().ToString().c_str());
+    return 1;
+  }
+  auto warm = run_once("warm");
+  if (!warm.ok()) {
+    std::fprintf(stderr, "warm study failed: %s\n",
+                 warm.status().ToString().c_str());
+    return 1;
+  }
+  std::filesystem::remove_all(cache_dir, ec);
+
+  double speedup = warm.value().wall_seconds > 0.0
+                       ? cold.value().wall_seconds / warm.value().wall_seconds
+                       : 0.0;
+  double skip_fraction =
+      warm.value().result.analyzed_binaries > 0
+          ? static_cast<double>(warm.value().result.analyses_from_cache) /
+                static_cast<double>(warm.value().result.analyzed_binaries)
+          : 0.0;
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"description\": \"Cold-vs-warm RunStudy pair sharing one "
+        "content-addressed footprint cache (src/cache), emitted by "
+        "bench_pipeline_perf at startup. Warm runs skip the per-binary "
+        "analysis chain (ELF parse, linear sweep, CFG, dataflow), the "
+        "per-library export reachability, the per-executable resolution, "
+        "and the popcon survey; exports are byte-identical cold vs. "
+        "warm.\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "  \"host\": {\n"
+                "    \"cpu_model\": \"%s\",\n"
+                "    \"logical_cpus\": %u,\n"
+                "    \"kernel\": \"%s\",\n"
+                "    \"compiler\": \"%s\",\n"
+                "    \"date\": \"%s\"\n"
+                "  },\n",
+                CpuModel().c_str(), std::thread::hardware_concurrency(),
+                KernelRelease().c_str(), __VERSION__, IsoDate().c_str());
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"config\": { \"app_packages\": %zu, \"installations\": "
+                "%" PRIu64 ", \"jobs\": %zu, \"jobs_used\": %zu },\n",
+                options.distro.app_package_count,
+                options.distro.installation_count, options.jobs,
+                cold.value().result.jobs_used);
+  os << buf;
+  os << "  \"runs\": {\n";
+  AppendRun(os, "cold", cold.value());
+  os << ",\n";
+  AppendRun(os, "warm", warm.value());
+  os << "\n  },\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"warm_vs_cold\": { \"speedup\": %.2f, "
+                "\"hit_rate\": %.4f, \"analysis_skip_fraction\": %.4f }\n",
+                speedup, warm.value().result.cache_stats.HitRate(),
+                skip_fraction);
+  os << buf;
+  os << "}\n";
+
+  std::string path = EnvStringOr("LAPIS_BENCH_JSON", "BENCH_pipeline.json");
+  std::ofstream out(path, std::ios::trunc);
+  out << os.str();
+  if (!out.good()) {
+    std::fprintf(stderr, "failed writing %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[bench_pipeline_perf] wrote %s (cold %.3fs, warm %.3fs, "
+               "%.1fx, hit rate %.1f%%)\n",
+               path.c_str(), cold.value().wall_seconds,
+               warm.value().wall_seconds, speedup,
+               100.0 * warm.value().result.cache_stats.HitRate());
+  return 0;
+}
+
 }  // namespace
 }  // namespace lapis
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // LAPIS_BENCH_SKIP_JSON=1 skips the cold/warm pair (e.g. when only the
+  // registered microbenches are wanted).
+  if (lapis::EnvSizeOr("LAPIS_BENCH_SKIP_JSON", 0) == 0) {
+    int rc = lapis::WriteColdWarmJson();
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

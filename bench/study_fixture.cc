@@ -23,6 +23,8 @@ corpus::StudyOptions BenchStudyOptions() {
   options.popcon_retain_samples = EnvSizeOr("LAPIS_BENCH_SAMPLES", 0);
   // 0 = all cores (runtime::DefaultJobs); 1 pins the sequential path.
   options.jobs = EnvSizeOr("LAPIS_BENCH_JOBS", 0);
+  // Optional persistent analysis cache (warm reruns of the bench suite).
+  options.cache_dir = EnvStringOr("LAPIS_CACHE_DIR", "");
   return options;
 }
 
@@ -62,11 +64,24 @@ void PrintStudyBanner(const std::string& title) {
   }
   std::printf(
       "pipeline: %zu worker thread(s), %zu tasks executed, %zu steals, "
-      "max queue depth %zu, %.1fs wall / %.1fs cpu across stages\n\n",
+      "max queue depth %zu, %.1fs wall / %.1fs cpu across stages\n",
       study.jobs_used, study.executor_stats.tasks_executed,
       study.executor_stats.steals, study.executor_stats.max_queue_depth,
       study.pipeline_stats.TotalWallSeconds(),
       study.pipeline_stats.TotalCpuSeconds());
+  if (study.cache_enabled) {
+    std::printf(
+        "cache: %llu hits / %llu lookups (%.1f%%), %zu/%zu analyses "
+        "restored, %llu KiB read, %llu KiB written\n",
+        static_cast<unsigned long long>(study.cache_stats.hits),
+        static_cast<unsigned long long>(study.cache_stats.Lookups()),
+        100.0 * study.cache_stats.HitRate(), study.analyses_from_cache,
+        study.analyzed_binaries,
+        static_cast<unsigned long long>(study.cache_stats.bytes_read / 1024),
+        static_cast<unsigned long long>(study.cache_stats.bytes_written /
+                                        1024));
+  }
+  std::printf("\n");
 }
 
 std::string Pct(double fraction, int decimals) {

@@ -119,7 +119,7 @@ void CollectFunctionFacts(const elf::ElfImage& image,
                           const AnalyzerOptions& options,
                           const disasm::SweepResult& sweep,
                           const std::vector<RegState>& states,
-                          const std::set<uint64_t>& function_starts,
+                          const std::vector<uint64_t>& function_starts,
                           FunctionInfo& info, BinaryAnalysis& analysis) {
   for (size_t i = 0; i < sweep.insns.size(); ++i) {
     const Insn& insn = sweep.insns[i];
@@ -211,7 +211,8 @@ void CollectFunctionFacts(const elf::ElfImage& image,
               }
             }
           }
-        } else if (function_starts.count(insn.target) != 0 &&
+        } else if (std::binary_search(function_starts.begin(),
+                                      function_starts.end(), insn.target) &&
                    insn.target != info.vaddr) {
           info.local_callees.insert(insn.target);
         }
@@ -247,14 +248,26 @@ Result<BinaryAnalysis> BinaryAnalyzer::Analyze(const elf::ElfImage& image,
             [](const elf::Symbol* a, const elf::Symbol* b) {
               return a->value < b->value;
             });
-  std::set<uint64_t> function_starts;
+  // `funcs` is sorted by vaddr, so the start list is already in binary-search
+  // order (duplicates from aliased symbols are harmless).
+  std::vector<uint64_t> function_starts;
+  function_starts.reserve(funcs.size());
   for (const auto* sym : funcs) {
-    function_starts.insert(sym->value);
+    function_starts.push_back(sym->value);
   }
 
   const PropagationMode mode = options.use_dataflow
                                    ? PropagationMode::kDataflow
                                    : PropagationMode::kLinear;
+
+  // One set of decode/CFG/dataflow buffers serves every function body; the
+  // Into-variants clear but never shrink, so the per-function allocation
+  // churn of the old per-iteration locals disappears.
+  disasm::SweepResult sweep;
+  ControlFlowGraph cfg;
+  std::vector<RegState> states;
+  DataflowScratch scratch;
+  analysis.functions_.reserve(funcs.size());
 
   for (const auto* sym : funcs) {
     FunctionInfo info;
@@ -270,12 +283,12 @@ Result<BinaryAnalysis> BinaryAnalyzer::Analyze(const elf::ElfImage& image,
       continue;
     }
 
-    disasm::SweepResult sweep = disasm::LinearSweep(body, sym->value);
+    disasm::LinearSweepInto(body, sym->value, sweep);
     info.decode_complete = sweep.complete;
 
-    ControlFlowGraph cfg = ControlFlowGraph::Build(sweep);
+    ControlFlowGraph::BuildInto(sweep, cfg);
     info.basic_block_count = cfg.block_count();
-    std::vector<RegState> states = ComputeInsnStates(sweep, cfg, mode);
+    ComputeInsnStatesInto(sweep, cfg, mode, scratch, states);
     CollectFunctionFacts(image, options, sweep, states, function_starts,
                          info, analysis);
 

@@ -34,6 +34,10 @@ namespace lapis::runtime {
 class Executor;
 }  // namespace lapis::runtime
 
+namespace lapis::cache {
+class AnalysisCodec;
+}  // namespace lapis::cache
+
 namespace lapis::analysis {
 
 // Analysis result for one function.
@@ -91,6 +95,9 @@ class BinaryAnalysis {
 
  private:
   friend class BinaryAnalyzer;
+  // The incremental-analysis cache serializes/restores whole analyses so a
+  // warm run can skip parse → CFG → dataflow (src/cache/analysis_codec.h).
+  friend class lapis::cache::AnalysisCodec;
 
   std::vector<FunctionInfo> functions_;
   std::map<uint64_t, size_t> by_vaddr_;

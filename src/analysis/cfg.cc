@@ -1,6 +1,6 @@
 #include "src/analysis/cfg.h"
 
-#include <map>
+#include <algorithm>
 
 namespace lapis::analysis {
 
@@ -8,6 +8,8 @@ namespace {
 
 using disasm::Insn;
 using disasm::InsnKind;
+
+constexpr size_t kNoInsn = static_cast<size_t>(-1);
 
 // Control leaves the instruction sideways (never falls through for kJmpRel /
 // kRet / kJmpIndirect; conditionally for kJccRel). The instruction after any
@@ -39,49 +41,64 @@ bool HasBranchTarget(const Insn& insn) {
   return insn.kind == InsnKind::kJmpRel || insn.kind == InsnKind::kJccRel;
 }
 
+// Index of the instruction starting exactly at `vaddr`, or kNoInsn. A linear
+// sweep decodes at strictly increasing addresses, so a binary search replaces
+// the vaddr->index std::map the builder used to allocate per function.
+size_t FindInsnAt(const std::vector<Insn>& insns, uint64_t vaddr) {
+  auto it = std::lower_bound(
+      insns.begin(), insns.end(), vaddr,
+      [](const Insn& insn, uint64_t v) { return insn.vaddr < v; });
+  if (it == insns.end() || it->vaddr != vaddr) {
+    return kNoInsn;
+  }
+  return static_cast<size_t>(it - insns.begin());
+}
+
 }  // namespace
 
 ControlFlowGraph ControlFlowGraph::Build(const disasm::SweepResult& sweep) {
   ControlFlowGraph cfg;
+  BuildInto(sweep, cfg);
+  return cfg;
+}
+
+void ControlFlowGraph::BuildInto(const disasm::SweepResult& sweep,
+                                 ControlFlowGraph& cfg) {
+  cfg.blocks_.clear();
+  cfg.block_of_insn_.clear();
+  cfg.is_branch_target_.clear();
   const std::vector<Insn>& insns = sweep.insns;
   if (insns.empty()) {
-    return cfg;
+    return;
   }
 
-  std::map<uint64_t, size_t> insn_at_vaddr;
-  for (size_t i = 0; i < insns.size(); ++i) {
-    insn_at_vaddr.emplace(insns[i].vaddr, i);
-  }
-
-  // ---- Leaders ----
-  std::vector<bool> leader(insns.size(), false);
-  cfg.is_branch_target_.assign(insns.size(), false);
-  leader[0] = true;
-  for (size_t i = 0; i < insns.size(); ++i) {
-    if (HasBranchTarget(insns[i])) {
-      auto it = insn_at_vaddr.find(insns[i].target);
-      if (it != insn_at_vaddr.end()) {
-        leader[it->second] = true;
-        cfg.is_branch_target_[it->second] = true;
+  // ---- Branch targets ----
+  cfg.is_branch_target_.resize(insns.size(), false);
+  for (const Insn& insn : insns) {
+    if (HasBranchTarget(insn)) {
+      size_t target = FindInsnAt(insns, insn.target);
+      if (target != kNoInsn) {
+        cfg.is_branch_target_[target] = true;
       }
-    }
-    if (IsTerminator(insns[i]) && i + 1 < insns.size()) {
-      leader[i + 1] = true;
     }
   }
 
   // ---- Blocks ----
-  cfg.block_of_insn_.assign(insns.size(), 0);
+  // Leaders are the first instruction, every branch target, and every
+  // instruction following a terminator; the latter is tracked on the fly.
+  cfg.block_of_insn_.resize(insns.size(), 0);
+  bool prev_was_terminator = false;
   for (size_t i = 0; i < insns.size(); ++i) {
-    if (leader[i]) {
+    if (i == 0 || cfg.is_branch_target_[i] || prev_was_terminator) {
       BasicBlock block;
       block.first_insn = i;
       block.start_vaddr = insns[i].vaddr;
-      cfg.blocks_.push_back(block);
+      cfg.blocks_.push_back(std::move(block));
     }
     BasicBlock& current = cfg.blocks_.back();
     ++current.insn_count;
     cfg.block_of_insn_[i] = static_cast<uint32_t>(cfg.blocks_.size() - 1);
+    prev_was_terminator = IsTerminator(insns[i]);
   }
 
   // ---- Edges ----
@@ -89,9 +106,9 @@ ControlFlowGraph ControlFlowGraph::Build(const disasm::SweepResult& sweep) {
     BasicBlock& block = cfg.blocks_[b];
     const Insn& last = insns[block.first_insn + block.insn_count - 1];
     if (HasBranchTarget(last)) {
-      auto it = insn_at_vaddr.find(last.target);
-      if (it != insn_at_vaddr.end()) {
-        block.succs.push_back(cfg.block_of_insn_[it->second]);
+      size_t target = FindInsnAt(insns, last.target);
+      if (target != kNoInsn) {
+        block.succs.push_back(cfg.block_of_insn_[target]);
       }
     }
     if (FallsThrough(last) && b + 1 < cfg.blocks_.size()) {
@@ -103,7 +120,6 @@ ControlFlowGraph ControlFlowGraph::Build(const disasm::SweepResult& sweep) {
       cfg.blocks_[succ].preds.push_back(b);
     }
   }
-  return cfg;
 }
 
 }  // namespace lapis::analysis

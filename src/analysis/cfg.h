@@ -39,6 +39,11 @@ class ControlFlowGraph {
   // first instruction (the entry block).
   static ControlFlowGraph Build(const disasm::SweepResult& sweep);
 
+  // Build into caller-owned storage: `cfg`'s vectors are cleared but keep
+  // their capacity, so a loop over many function bodies reuses allocations.
+  static void BuildInto(const disasm::SweepResult& sweep,
+                        ControlFlowGraph& cfg);
+
   const std::vector<BasicBlock>& blocks() const { return blocks_; }
   size_t block_count() const { return blocks_.size(); }
   size_t insn_count() const { return block_of_insn_.size(); }

@@ -1,7 +1,5 @@
 #include "src/analysis/dataflow.h"
 
-#include <deque>
-
 namespace lapis::analysis {
 
 namespace {
@@ -127,9 +125,9 @@ namespace {
 // The paper's single-pass mode: state flows along sweep order; it drops to
 // ⊤ at every in-function branch target (code reachable from elsewhere) and
 // after instructions that never fall through.
-std::vector<RegState> LinearStates(const disasm::SweepResult& sweep,
-                                   const ControlFlowGraph& cfg) {
-  std::vector<RegState> states(sweep.insns.size(), RegState::AllTop());
+void LinearStates(const disasm::SweepResult& sweep, const ControlFlowGraph& cfg,
+                  std::vector<RegState>& states) {
+  states.assign(sweep.insns.size(), RegState::AllTop());
   RegState state = RegState::AllTop();
   for (size_t i = 0; i < sweep.insns.size(); ++i) {
     if (cfg.IsBranchTarget(i)) {
@@ -148,61 +146,63 @@ std::vector<RegState> LinearStates(const disasm::SweepResult& sweep,
         break;
     }
   }
-  return states;
 }
 
 // Worklist constant propagation over the CFG with per-block-exit
 // memoization: a block whose exit state did not change never re-enqueues
-// its successors.
-std::vector<RegState> DataflowStates(const disasm::SweepResult& sweep,
-                                     const ControlFlowGraph& cfg) {
+// its successors. The worklist is a LIFO stack — the fixpoint converges to
+// the same answer under any processing order (joins are monotone on a
+// finite lattice), and a stack needs no deque segment allocations.
+void DataflowStates(const disasm::SweepResult& sweep,
+                    const ControlFlowGraph& cfg, DataflowScratch& scratch,
+                    std::vector<RegState>& states) {
   const size_t block_count = cfg.block_count();
-  std::vector<RegState> in_states(block_count, RegState::AllBottom());
-  std::vector<RegState> out_states(block_count, RegState::AllBottom());
+  states.clear();
   if (block_count == 0) {
-    return {};
+    return;
   }
+  scratch.block_in.assign(block_count, RegState::AllBottom());
+  scratch.block_out.assign(block_count, RegState::AllBottom());
   // Register contents at function entry are the caller's: unknown.
-  in_states[0] = RegState::AllTop();
+  scratch.block_in[0] = RegState::AllTop();
 
-  std::deque<uint32_t> worklist;
-  std::vector<bool> queued(block_count, false);
-  worklist.push_back(0);
-  queued[0] = true;
+  scratch.worklist.clear();
+  scratch.queued.assign(block_count, false);
+  scratch.worklist.push_back(0);
+  scratch.queued[0] = true;
 
-  while (!worklist.empty()) {
-    uint32_t b = worklist.front();
-    worklist.pop_front();
-    queued[b] = false;
+  while (!scratch.worklist.empty()) {
+    uint32_t b = scratch.worklist.back();
+    scratch.worklist.pop_back();
+    scratch.queued[b] = false;
     const BasicBlock& block = cfg.blocks()[b];
 
-    RegState state = in_states[b];
+    RegState state = scratch.block_in[b];
     for (size_t i = 0; i < block.insn_count; ++i) {
       ApplyTransfer(sweep.insns[block.first_insn + i], state);
     }
-    if (state == out_states[b]) {
+    if (state == scratch.block_out[b]) {
       continue;  // memoized exit state: successors already saw these facts
     }
-    out_states[b] = state;
+    scratch.block_out[b] = state;
     for (uint32_t succ : block.succs) {
-      if (in_states[succ].JoinFrom(state) && !queued[succ]) {
-        worklist.push_back(succ);
-        queued[succ] = true;
+      if (scratch.block_in[succ].JoinFrom(state) && !scratch.queued[succ]) {
+        scratch.worklist.push_back(succ);
+        scratch.queued[succ] = true;
       }
     }
   }
 
   // Final pass: expand per-block entry states to per-instruction states.
-  std::vector<RegState> states(sweep.insns.size(), RegState::AllBottom());
+  states.assign(sweep.insns.size(), RegState::AllBottom());
   for (uint32_t b = 0; b < block_count; ++b) {
     const BasicBlock& block = cfg.blocks()[b];
-    RegState state = in_states[b];
+    RegState state = scratch.block_in[b];
     for (size_t i = 0; i < block.insn_count; ++i) {
       states[block.first_insn + i] = state;
       ApplyTransfer(sweep.insns[block.first_insn + i], state);
     }
   }
-  return states;
 }
 
 }  // namespace
@@ -210,10 +210,21 @@ std::vector<RegState> DataflowStates(const disasm::SweepResult& sweep,
 std::vector<RegState> ComputeInsnStates(const disasm::SweepResult& sweep,
                                         const ControlFlowGraph& cfg,
                                         PropagationMode mode) {
+  DataflowScratch scratch;
+  std::vector<RegState> states;
+  ComputeInsnStatesInto(sweep, cfg, mode, scratch, states);
+  return states;
+}
+
+void ComputeInsnStatesInto(const disasm::SweepResult& sweep,
+                           const ControlFlowGraph& cfg, PropagationMode mode,
+                           DataflowScratch& scratch,
+                           std::vector<RegState>& states) {
   if (mode == PropagationMode::kLinear) {
-    return LinearStates(sweep, cfg);
+    LinearStates(sweep, cfg, states);
+    return;
   }
-  return DataflowStates(sweep, cfg);
+  DataflowStates(sweep, cfg, scratch, states);
 }
 
 }  // namespace lapis::analysis

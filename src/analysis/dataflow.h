@@ -97,6 +97,23 @@ std::vector<RegState> ComputeInsnStates(const disasm::SweepResult& sweep,
                                         const ControlFlowGraph& cfg,
                                         PropagationMode mode);
 
+// Reusable fixpoint buffers (one per analysis worker). The analyzer calls
+// the propagation once per function; without scratch reuse every call
+// reallocates four vectors sized by the block count.
+struct DataflowScratch {
+  std::vector<RegState> block_in;
+  std::vector<RegState> block_out;
+  std::vector<uint32_t> worklist;
+  std::vector<bool> queued;
+};
+
+// Same result as ComputeInsnStates, written into `states` (cleared but
+// capacity kept) using `scratch` for the fixpoint's working set.
+void ComputeInsnStatesInto(const disasm::SweepResult& sweep,
+                           const ControlFlowGraph& cfg, PropagationMode mode,
+                           DataflowScratch& scratch,
+                           std::vector<RegState>& states);
+
 }  // namespace lapis::analysis
 
 #endif  // LAPIS_SRC_ANALYSIS_DATAFLOW_H_

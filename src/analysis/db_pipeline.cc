@@ -20,12 +20,14 @@ int64_t Encode(int64_t tag, uint32_t value) {
 }  // namespace
 
 DbPipeline::DbPipeline(runtime::Executor* executor) : executor_(executor) {
+  // String-valued attributes (binary names, symbol names) live once in the
+  // symbols table; every other table references them by interned id.
   functions_ = database_
                    .CreateTable("functions",
                                 {{"node", db::ColumnType::kInt64},
-                                 {"binary", db::ColumnType::kString},
+                                 {"binary", db::ColumnType::kInt64},
                                  {"vaddr", db::ColumnType::kInt64},
-                                 {"name", db::ColumnType::kString}})
+                                 {"name", db::ColumnType::kInt64}})
                    .value();
   calls_ = database_
                .CreateTable("calls", {{"src", db::ColumnType::kInt64},
@@ -34,11 +36,11 @@ DbPipeline::DbPipeline(runtime::Executor* executor) : executor_(executor) {
   imports_ = database_
                  .CreateTable("imports",
                               {{"src", db::ColumnType::kInt64},
-                               {"symbol", db::ColumnType::kString}})
+                               {"symbol", db::ColumnType::kInt64}})
                  .value();
   exports_ = database_
                  .CreateTable("exports",
-                              {{"symbol", db::ColumnType::kString},
+                              {{"symbol", db::ColumnType::kInt64},
                                {"node", db::ColumnType::kInt64}})
                  .value();
   facts_ = database_
@@ -49,17 +51,25 @@ DbPipeline::DbPipeline(runtime::Executor* executor) : executor_(executor) {
                .CreateTable("paths", {{"id", db::ColumnType::kInt64},
                                       {"path", db::ColumnType::kString}})
                .value();
+  symbols_ = database_
+                 .CreateTable("symbols", {{"id", db::ColumnType::kInt64},
+                                          {"name", db::ColumnType::kString}})
+                 .value();
+}
+
+uint32_t DbPipeline::InternString(std::string_view s) {
+  const size_t before = strings_.size();
+  const uint32_t id = strings_.Intern(s);
+  if (strings_.size() > before) {
+    (void)symbols_->Insert({static_cast<int64_t>(id), std::string(s)});
+  }
+  return id;
 }
 
 int64_t DbPipeline::EncodePath(const std::string& path) {
-  auto it = path_ids_.find(path);
-  uint32_t id;
-  if (it != path_ids_.end()) {
-    id = it->second;
-  } else {
-    id = static_cast<uint32_t>(path_names_.size());
-    path_ids_.emplace(path, id);
-    path_names_.push_back(path);
+  const size_t before = strings_.size();
+  const uint32_t id = InternString(path);
+  if (strings_.size() > before) {
     (void)paths_->Insert({static_cast<int64_t>(id), path});
   }
   return Encode(kTagPath, id);
@@ -68,14 +78,16 @@ int64_t DbPipeline::EncodePath(const std::string& path) {
 Status DbPipeline::AddBinary(const std::string& binary_name,
                              const BinaryAnalysis& analysis) {
   aggregated_ = false;
+  const int64_t binary_id = InternString(binary_name);
   // Assign node ids to every function.
   std::map<uint64_t, uint32_t> node_of_vaddr;
   for (const auto& fn : analysis.functions()) {
     uint32_t node = next_node_++;
     node_of_vaddr.emplace(fn.vaddr, node);
     LAPIS_RETURN_IF_ERROR(functions_->Insert(
-        {static_cast<int64_t>(node), binary_name,
-         static_cast<int64_t>(fn.vaddr), fn.name}));
+        {static_cast<int64_t>(node), binary_id,
+         static_cast<int64_t>(fn.vaddr),
+         static_cast<int64_t>(InternString(fn.name))}));
   }
   for (const auto& fn : analysis.functions()) {
     uint32_t node = node_of_vaddr.at(fn.vaddr);
@@ -88,9 +100,10 @@ Status DbPipeline::AddBinary(const std::string& binary_name,
       }
     }
     for (const auto& symbol : fn.plt_calls) {
-      LAPIS_RETURN_IF_ERROR(
-          imports_->Insert({static_cast<int64_t>(node), symbol}));
-      pending_imports_.emplace_back(node, symbol);
+      const uint32_t symbol_id = InternString(symbol);
+      LAPIS_RETURN_IF_ERROR(imports_->Insert(
+          {static_cast<int64_t>(node), static_cast<int64_t>(symbol_id)}));
+      pending_imports_.emplace_back(node, symbol_id);
     }
     for (int nr : fn.local.syscalls) {
       LAPIS_RETURN_IF_ERROR(facts_->Insert(
@@ -128,9 +141,10 @@ Status DbPipeline::AddBinary(const std::string& binary_name,
         continue;
       }
       auto node = node_of_vaddr.at(fn->vaddr);
-      if (export_nodes_.emplace(symbol, node).second) {
-        LAPIS_RETURN_IF_ERROR(
-            exports_->Insert({symbol, static_cast<int64_t>(node)}));
+      const uint32_t symbol_id = InternString(symbol);
+      if (export_nodes_.emplace(symbol_id, node).second) {
+        LAPIS_RETURN_IF_ERROR(exports_->Insert(
+            {static_cast<int64_t>(symbol_id), static_cast<int64_t>(node)}));
       }
     }
   }
@@ -144,8 +158,8 @@ Status DbPipeline::Aggregate() {
         static_cast<uint32_t>(calls_->GetInt(row, 0)),
         static_cast<uint32_t>(calls_->GetInt(row, 1))));
   }
-  for (const auto& [src, symbol] : pending_imports_) {
-    auto target = export_nodes_.find(symbol);
+  for (const auto& [src, symbol_id] : pending_imports_) {
+    auto target = export_nodes_.find(symbol_id);
     if (target != export_nodes_.end()) {
       LAPIS_RETURN_IF_ERROR(aggregator.AddEdge(src, target->second));
     }
@@ -187,7 +201,7 @@ Result<Footprint> DbPipeline::ExecutableFootprint(
         footprint.prctl_ops.insert(value);
         break;
       case kTagPath:
-        footprint.pseudo_paths.insert(path_names_[value]);
+        footprint.pseudo_paths.insert(std::string(strings_.NameOf(value)));
         break;
       default:
         return CorruptDataError("unknown fact tag");

@@ -13,11 +13,13 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/analysis/binary_analyzer.h"
 #include "src/db/table.h"
 #include "src/util/status.h"
+#include "src/util/string_pool.h"
 
 namespace lapis::analysis {
 
@@ -45,23 +47,31 @@ class DbPipeline {
   int64_t EncodeSyscall(int nr) const;
   int64_t EncodeOp(int family, uint32_t op) const;
   int64_t EncodePath(const std::string& path);
+  // Interns into `strings_`, appending a row to the symbols table on first
+  // sight so the store stays self-describing.
+  uint32_t InternString(std::string_view s);
 
   runtime::Executor* executor_ = nullptr;
   db::Database database_;
-  db::Table* functions_;  // node, binary, vaddr, name
+  db::Table* functions_;  // node, binary string id, vaddr, name string id
   db::Table* calls_;      // src node, dst node (intra-binary)
-  db::Table* imports_;    // src node, symbol
-  db::Table* exports_;    // symbol, node
+  db::Table* imports_;    // src node, symbol string id
+  db::Table* exports_;    // symbol string id, node
   db::Table* facts_;      // node, encoded fact
-  db::Table* paths_;      // path id, path string
+  db::Table* paths_;      // path string id, path string (distinct paths)
+  db::Table* symbols_;    // string id, string (one row per distinct string)
+
+  // Every symbol name, binary name, and pseudo path is stored once here;
+  // all tables reference strings by dense pool id. The paper's PostgreSQL
+  // schema used raw text columns — at corpus scale the same libc symbol
+  // names were copied into tens of thousands of rows.
+  StringPool strings_;
 
   uint32_t next_node_ = 0;
-  std::map<std::string, uint32_t> entry_nodes_;     // executable -> node
-  std::map<std::string, uint32_t> export_nodes_;    // symbol -> node
-  std::map<std::string, uint32_t> path_ids_;
-  std::vector<std::string> path_names_;
-  // Unresolved import edges kept symbolic until aggregation.
-  std::vector<std::pair<uint32_t, std::string>> pending_imports_;
+  std::map<std::string, uint32_t> entry_nodes_;  // executable -> node
+  std::map<uint32_t, uint32_t> export_nodes_;    // symbol id -> node
+  // Unresolved import edges (src node, symbol id) kept until aggregation.
+  std::vector<std::pair<uint32_t, uint32_t>> pending_imports_;
   // Cached aggregation (invalidated by AddBinary).
   bool aggregated_ = false;
   std::vector<std::vector<int64_t>> closure_;

@@ -1,11 +1,20 @@
 #include "src/analysis/library_resolver.h"
 
-#include <deque>
+#include <vector>
 
 namespace lapis::analysis {
 
 Status LibraryResolver::AddLibrary(
     std::shared_ptr<const BinaryAnalysis> library) {
+  if (library == nullptr) {
+    return InvalidArgumentError("null library");
+  }
+  ExportReach reach = library->PerExportReachable(executor_);
+  return AddLibrary(std::move(library), std::move(reach));
+}
+
+Status LibraryResolver::AddLibrary(std::shared_ptr<const BinaryAnalysis> library,
+                                   ExportReach export_reach) {
   if (library == nullptr) {
     return InvalidArgumentError("null library");
   }
@@ -17,50 +26,90 @@ Status LibraryResolver::AddLibrary(
     return FailedPreconditionError("library already registered: " + soname);
   }
   LibEntry entry;
-  entry.analysis = library;
-  entry.export_reach = library->PerExportReachable(executor_);
-  for (const auto& [symbol, reach] : entry.export_reach) {
-    symbol_to_soname_.emplace(symbol, soname);  // first wins
-  }
-  libraries_.emplace(soname, std::move(entry));
+  entry.analysis = std::move(library);
+  entry.export_reach = std::move(export_reach);
+  const uint32_t soname_index = static_cast<uint32_t>(sonames_.size());
+  auto [lib_it, inserted] = libraries_.emplace(soname, std::move(entry));
+  (void)inserted;
   sonames_.push_back(soname);
+  for (const auto& [symbol, reach] : lib_it->second.export_reach) {
+    const uint32_t symbol_id = symbols_.Intern(symbol);
+    if (symbol_id >= ref_of_symbol_.size()) {
+      ref_of_symbol_.resize(symbol_id + 1, kNoRef);
+    }
+    if (ref_of_symbol_[symbol_id] != kNoRef) {
+      continue;  // first registration wins
+    }
+    ReachRef ref;
+    ref.reach = &reach;
+    ref.soname_index = soname_index;
+    ref.plt_call_ids.reserve(reach.plt_calls.size());
+    for (const std::string& callee : reach.plt_calls) {
+      ref.plt_call_ids.push_back(symbols_.Intern(callee));
+    }
+    ref_of_symbol_[symbol_id] = static_cast<uint32_t>(reach_refs_.size());
+    reach_refs_.push_back(std::move(ref));
+  }
+  // Interning plt callees may have grown the pool past ref_of_symbol_.
+  if (ref_of_symbol_.size() < symbols_.size()) {
+    ref_of_symbol_.resize(symbols_.size(), kNoRef);
+  }
   return Status::Ok();
 }
 
+const LibraryResolver::ExportReach* LibraryResolver::ExportReachOf(
+    const std::string& soname) const {
+  auto it = libraries_.find(soname);
+  return it == libraries_.end() ? nullptr : &it->second.export_reach;
+}
+
 std::string LibraryResolver::ExporterOf(const std::string& symbol) const {
-  auto it = symbol_to_soname_.find(symbol);
-  return it == symbol_to_soname_.end() ? std::string() : it->second;
+  const uint32_t id = symbols_.Find(symbol);
+  if (id == StringPool::kNotFound || id >= ref_of_symbol_.size() ||
+      ref_of_symbol_[id] == kNoRef) {
+    return std::string();
+  }
+  return sonames_[reach_refs_[ref_of_symbol_[id]].soname_index];
 }
 
 void LibraryResolver::Expand(const std::set<std::string>& initial_symbols,
                              Resolution& resolution) const {
-  std::deque<std::string> queue(initial_symbols.begin(),
-                                initial_symbols.end());
-  std::set<std::string> visited;
-  while (!queue.empty()) {
-    std::string symbol = std::move(queue.front());
-    queue.pop_front();
-    if (!visited.insert(symbol).second) {
-      continue;
-    }
-    auto soname_it = symbol_to_soname_.find(symbol);
-    if (soname_it == symbol_to_soname_.end()) {
+  // The fixpoint runs over interned ids: a vector worklist plus a dense
+  // visited bitmap, no per-step string allocation. Symbols never interned at
+  // registration time cannot resolve, so they go straight to
+  // unresolved_imports without touching the pool (Resolve* stays const and
+  // concurrency-safe).
+  std::vector<uint32_t> worklist;
+  worklist.reserve(initial_symbols.size());
+  for (const std::string& symbol : initial_symbols) {
+    const uint32_t id = symbols_.Find(symbol);
+    if (id == StringPool::kNotFound) {
       resolution.unresolved_imports.insert(symbol);
+    } else {
+      worklist.push_back(id);
+    }
+  }
+  std::vector<bool> visited(ref_of_symbol_.size(), false);
+  while (!worklist.empty()) {
+    const uint32_t id = worklist.back();
+    worklist.pop_back();
+    if (visited[id]) {
       continue;
     }
-    const LibEntry& lib = libraries_.at(soname_it->second);
-    auto reach_it = lib.export_reach.find(symbol);
-    if (reach_it == lib.export_reach.end()) {
-      resolution.unresolved_imports.insert(symbol);
+    visited[id] = true;
+    const uint32_t ref_index = ref_of_symbol_[id];
+    if (ref_index == kNoRef) {
+      resolution.unresolved_imports.insert(std::string(symbols_.NameOf(id)));
       continue;
     }
-    resolution.used_exports[soname_it->second].insert(symbol);
-    const auto& reach = reach_it->second;
-    resolution.footprint.MergeFrom(reach.footprint);
-    resolution.reachable_function_count += reach.function_count;
-    for (const auto& next : reach.plt_calls) {
-      if (visited.find(next) == visited.end()) {
-        queue.push_back(next);
+    const ReachRef& ref = reach_refs_[ref_index];
+    resolution.used_exports[sonames_[ref.soname_index]].insert(
+        std::string(symbols_.NameOf(id)));
+    resolution.footprint.MergeFrom(ref.reach->footprint);
+    resolution.reachable_function_count += ref.reach->function_count;
+    for (const uint32_t next : ref.plt_call_ids) {
+      if (!visited[next]) {
+        worklist.push_back(next);
       }
     }
   }

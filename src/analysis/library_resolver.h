@@ -22,6 +22,7 @@
 
 #include "src/analysis/binary_analyzer.h"
 #include "src/util/status.h"
+#include "src/util/string_pool.h"
 
 namespace lapis::analysis {
 
@@ -35,10 +36,21 @@ class LibraryResolver {
   explicit LibraryResolver(runtime::Executor* executor = nullptr)
       : executor_(executor) {}
 
+  using ExportReach = std::map<std::string, BinaryAnalysis::ReachableResult>;
+
   // Registers an analyzed shared library under its soname; precomputes and
   // memoizes per-export reachability. First registration of a symbol wins
   // (mirrors linker search order).
   Status AddLibrary(std::shared_ptr<const BinaryAnalysis> library);
+
+  // Same, but with per-export reachability already computed (a warm-cache
+  // hit decodes it instead of recomputing; libc alone has 1,274 exports).
+  Status AddLibrary(std::shared_ptr<const BinaryAnalysis> library,
+                    ExportReach export_reach);
+
+  // The memoized per-export reachability of a registered library, for cache
+  // write-back. nullptr if the soname is not registered.
+  const ExportReach* ExportReachOf(const std::string& soname) const;
 
   struct Resolution {
     Footprint footprint;
@@ -72,7 +84,17 @@ class LibraryResolver {
  private:
   struct LibEntry {
     std::shared_ptr<const BinaryAnalysis> analysis;
-    std::map<std::string, BinaryAnalysis::ReachableResult> export_reach;
+    ExportReach export_reach;
+  };
+
+  // Id-keyed view of one export's memoized reachability. `reach` points into
+  // a LibEntry's map (std::map nodes are address-stable); `plt_call_ids` are
+  // the interned ids of reach->plt_calls so the Expand fixpoint never touches
+  // a std::string.
+  struct ReachRef {
+    const BinaryAnalysis::ReachableResult* reach = nullptr;
+    uint32_t soname_index = 0;
+    std::vector<uint32_t> plt_call_ids;
   };
 
   void Expand(const std::set<std::string>& initial_symbols,
@@ -81,7 +103,14 @@ class LibraryResolver {
   runtime::Executor* executor_ = nullptr;
   std::map<std::string, LibEntry> libraries_;  // by soname
   std::vector<std::string> sonames_;
-  std::map<std::string, std::string> symbol_to_soname_;
+  // Symbol interner. Registration is single-threaded and in canonical
+  // library order, so ids are deterministic; they never leak into exports.
+  StringPool symbols_;
+  // Dense symbol id -> index into reach_refs_, or kNoRef. First registration
+  // of a symbol wins (linker search order).
+  std::vector<uint32_t> ref_of_symbol_;
+  std::vector<ReachRef> reach_refs_;
+  static constexpr uint32_t kNoRef = 0xffffffffu;
 };
 
 }  // namespace lapis::analysis

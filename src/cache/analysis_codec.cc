@@ -1,0 +1,260 @@
+#include "src/cache/analysis_codec.h"
+
+#include <utility>
+
+namespace lapis::cache {
+
+namespace {
+
+using analysis::BinaryAnalysis;
+using analysis::Footprint;
+using analysis::FunctionInfo;
+using analysis::LibraryResolver;
+
+// Decoded collection sizes are sanity-capped so a corrupt length prefix
+// fails fast instead of attempting a multi-gigabyte allocation.
+constexpr uint32_t kMaxCount = 1u << 24;
+
+Status CheckCount(uint32_t count) {
+  if (count > kMaxCount) {
+    return CorruptDataError("cache payload count out of range");
+  }
+  return Status::Ok();
+}
+
+template <typename T, typename Put>
+void EncodeSet(const std::set<T>& values, ByteWriter& writer, Put put) {
+  writer.PutU32(static_cast<uint32_t>(values.size()));
+  for (const T& v : values) {
+    put(v);
+  }
+}
+
+void EncodeStringSet(const std::set<std::string>& values, ByteWriter& writer) {
+  writer.PutU32(static_cast<uint32_t>(values.size()));
+  for (const auto& v : values) {
+    writer.PutLengthPrefixedString(v);
+  }
+}
+
+Result<std::set<std::string>> DecodeStringSet(ByteReader& reader) {
+  LAPIS_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  LAPIS_RETURN_IF_ERROR(CheckCount(count));
+  std::set<std::string> out;
+  for (uint32_t i = 0; i < count; ++i) {
+    LAPIS_ASSIGN_OR_RETURN(std::string s, reader.ReadLengthPrefixedString());
+    out.insert(out.end(), std::move(s));
+  }
+  return out;
+}
+
+void EncodeReach(const BinaryAnalysis::ReachableResult& reach,
+                 ByteWriter& writer) {
+  AnalysisCodec::EncodeFootprint(reach.footprint, writer);
+  EncodeStringSet(reach.plt_calls, writer);
+  writer.PutU64(reach.function_count);
+}
+
+Result<BinaryAnalysis::ReachableResult> DecodeReach(ByteReader& reader) {
+  BinaryAnalysis::ReachableResult reach;
+  LAPIS_ASSIGN_OR_RETURN(reach.footprint,
+                         AnalysisCodec::DecodeFootprint(reader));
+  LAPIS_ASSIGN_OR_RETURN(reach.plt_calls, DecodeStringSet(reader));
+  LAPIS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  reach.function_count = static_cast<size_t>(count);
+  return reach;
+}
+
+}  // namespace
+
+void AnalysisCodec::EncodeFootprint(const Footprint& footprint,
+                                    ByteWriter& writer) {
+  EncodeSet(footprint.syscalls, writer,
+            [&](int nr) { writer.PutI32(nr); });
+  EncodeSet(footprint.ioctl_ops, writer,
+            [&](uint32_t op) { writer.PutU32(op); });
+  EncodeSet(footprint.fcntl_ops, writer,
+            [&](uint32_t op) { writer.PutU32(op); });
+  EncodeSet(footprint.prctl_ops, writer,
+            [&](uint32_t op) { writer.PutU32(op); });
+  EncodeStringSet(footprint.pseudo_paths, writer);
+  EncodeSet(footprint.int80_syscalls, writer,
+            [&](int nr) { writer.PutI32(nr); });
+  writer.PutI32(footprint.unknown_syscall_sites);
+  writer.PutI32(footprint.unknown_opcode_sites);
+  writer.PutI32(footprint.indirect_call_sites);
+  writer.PutI32(footprint.int80_sites);
+}
+
+Result<Footprint> AnalysisCodec::DecodeFootprint(ByteReader& reader) {
+  Footprint fp;
+  LAPIS_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  LAPIS_RETURN_IF_ERROR(CheckCount(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    LAPIS_ASSIGN_OR_RETURN(int32_t nr, reader.ReadI32());
+    fp.syscalls.insert(fp.syscalls.end(), nr);
+  }
+  for (auto* ops : {&fp.ioctl_ops, &fp.fcntl_ops, &fp.prctl_ops}) {
+    LAPIS_ASSIGN_OR_RETURN(count, reader.ReadU32());
+    LAPIS_RETURN_IF_ERROR(CheckCount(count));
+    for (uint32_t i = 0; i < count; ++i) {
+      LAPIS_ASSIGN_OR_RETURN(uint32_t op, reader.ReadU32());
+      ops->insert(ops->end(), op);
+    }
+  }
+  LAPIS_ASSIGN_OR_RETURN(fp.pseudo_paths, DecodeStringSet(reader));
+  LAPIS_ASSIGN_OR_RETURN(count, reader.ReadU32());
+  LAPIS_RETURN_IF_ERROR(CheckCount(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    LAPIS_ASSIGN_OR_RETURN(int32_t nr, reader.ReadI32());
+    fp.int80_syscalls.insert(fp.int80_syscalls.end(), nr);
+  }
+  LAPIS_ASSIGN_OR_RETURN(fp.unknown_syscall_sites, reader.ReadI32());
+  LAPIS_ASSIGN_OR_RETURN(fp.unknown_opcode_sites, reader.ReadI32());
+  LAPIS_ASSIGN_OR_RETURN(fp.indirect_call_sites, reader.ReadI32());
+  LAPIS_ASSIGN_OR_RETURN(fp.int80_sites, reader.ReadI32());
+  return fp;
+}
+
+void AnalysisCodec::Encode(const BinaryAnalysis& analysis,
+                           ByteWriter& writer) {
+  writer.PutLengthPrefixedString(analysis.soname_);
+  writer.PutU8(analysis.is_executable_ ? 1 : 0);
+  writer.PutU64(analysis.entry_);
+  writer.PutI32(analysis.total_syscall_sites);
+  writer.PutI32(analysis.unknown_syscall_sites);
+
+  writer.PutU32(static_cast<uint32_t>(analysis.needed_.size()));
+  for (const auto& n : analysis.needed_) {
+    writer.PutLengthPrefixedString(n);
+  }
+  writer.PutU32(static_cast<uint32_t>(analysis.exports_.size()));
+  for (const auto& e : analysis.exports_) {
+    writer.PutLengthPrefixedString(e);
+  }
+
+  writer.PutU32(static_cast<uint32_t>(analysis.functions_.size()));
+  for (const FunctionInfo& fn : analysis.functions_) {
+    writer.PutLengthPrefixedString(fn.name);
+    writer.PutU64(fn.vaddr);
+    writer.PutU64(fn.size);
+    EncodeFootprint(fn.local, writer);
+    EncodeStringSet(fn.plt_calls, writer);
+    EncodeSet(fn.local_callees, writer,
+              [&](uint64_t callee) { writer.PutU64(callee); });
+    writer.PutU64(fn.basic_block_count);
+    writer.PutU8(fn.decode_complete ? 1 : 0);
+  }
+}
+
+Result<BinaryAnalysis> AnalysisCodec::Decode(ByteReader& reader) {
+  BinaryAnalysis analysis;
+  LAPIS_ASSIGN_OR_RETURN(analysis.soname_,
+                         reader.ReadLengthPrefixedString());
+  LAPIS_ASSIGN_OR_RETURN(uint8_t is_exe, reader.ReadU8());
+  analysis.is_executable_ = is_exe != 0;
+  LAPIS_ASSIGN_OR_RETURN(analysis.entry_, reader.ReadU64());
+  LAPIS_ASSIGN_OR_RETURN(analysis.total_syscall_sites, reader.ReadI32());
+  LAPIS_ASSIGN_OR_RETURN(analysis.unknown_syscall_sites, reader.ReadI32());
+
+  LAPIS_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  LAPIS_RETURN_IF_ERROR(CheckCount(count));
+  analysis.needed_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    LAPIS_ASSIGN_OR_RETURN(std::string s, reader.ReadLengthPrefixedString());
+    analysis.needed_.push_back(std::move(s));
+  }
+  LAPIS_ASSIGN_OR_RETURN(count, reader.ReadU32());
+  LAPIS_RETURN_IF_ERROR(CheckCount(count));
+  analysis.exports_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    LAPIS_ASSIGN_OR_RETURN(std::string s, reader.ReadLengthPrefixedString());
+    analysis.exports_.push_back(std::move(s));
+  }
+
+  LAPIS_ASSIGN_OR_RETURN(count, reader.ReadU32());
+  LAPIS_RETURN_IF_ERROR(CheckCount(count));
+  analysis.functions_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FunctionInfo fn;
+    LAPIS_ASSIGN_OR_RETURN(fn.name, reader.ReadLengthPrefixedString());
+    LAPIS_ASSIGN_OR_RETURN(fn.vaddr, reader.ReadU64());
+    LAPIS_ASSIGN_OR_RETURN(fn.size, reader.ReadU64());
+    LAPIS_ASSIGN_OR_RETURN(fn.local, DecodeFootprint(reader));
+    LAPIS_ASSIGN_OR_RETURN(fn.plt_calls, DecodeStringSet(reader));
+    LAPIS_ASSIGN_OR_RETURN(uint32_t callees, reader.ReadU32());
+    LAPIS_RETURN_IF_ERROR(CheckCount(callees));
+    for (uint32_t c = 0; c < callees; ++c) {
+      LAPIS_ASSIGN_OR_RETURN(uint64_t callee, reader.ReadU64());
+      fn.local_callees.insert(fn.local_callees.end(), callee);
+    }
+    LAPIS_ASSIGN_OR_RETURN(uint64_t blocks, reader.ReadU64());
+    fn.basic_block_count = static_cast<size_t>(blocks);
+    LAPIS_ASSIGN_OR_RETURN(uint8_t complete, reader.ReadU8());
+    fn.decode_complete = complete != 0;
+    analysis.functions_.push_back(std::move(fn));
+  }
+  for (size_t i = 0; i < analysis.functions_.size(); ++i) {
+    analysis.by_vaddr_.emplace(analysis.functions_[i].vaddr, i);
+    analysis.by_name_.emplace(analysis.functions_[i].name, i);
+  }
+  return analysis;
+}
+
+void AnalysisCodec::EncodeExportReach(const ExportReach& reach,
+                                      ByteWriter& writer) {
+  writer.PutU32(static_cast<uint32_t>(reach.size()));
+  for (const auto& [symbol, result] : reach) {
+    writer.PutLengthPrefixedString(symbol);
+    EncodeReach(result, writer);
+  }
+}
+
+Result<AnalysisCodec::ExportReach> AnalysisCodec::DecodeExportReach(
+    ByteReader& reader) {
+  LAPIS_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  LAPIS_RETURN_IF_ERROR(CheckCount(count));
+  ExportReach out;
+  for (uint32_t i = 0; i < count; ++i) {
+    LAPIS_ASSIGN_OR_RETURN(std::string symbol,
+                           reader.ReadLengthPrefixedString());
+    LAPIS_ASSIGN_OR_RETURN(auto reach, DecodeReach(reader));
+    out.emplace_hint(out.end(), std::move(symbol), std::move(reach));
+  }
+  return out;
+}
+
+void AnalysisCodec::EncodeResolution(
+    const LibraryResolver::Resolution& resolution, ByteWriter& writer) {
+  EncodeFootprint(resolution.footprint, writer);
+  writer.PutU32(static_cast<uint32_t>(resolution.used_exports.size()));
+  for (const auto& [soname, symbols] : resolution.used_exports) {
+    writer.PutLengthPrefixedString(soname);
+    EncodeStringSet(symbols, writer);
+  }
+  EncodeStringSet(resolution.unresolved_imports, writer);
+  writer.PutU64(resolution.reachable_function_count);
+}
+
+Result<LibraryResolver::Resolution> AnalysisCodec::DecodeResolution(
+    ByteReader& reader) {
+  LibraryResolver::Resolution resolution;
+  LAPIS_ASSIGN_OR_RETURN(resolution.footprint, DecodeFootprint(reader));
+  LAPIS_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+  LAPIS_RETURN_IF_ERROR(CheckCount(count));
+  for (uint32_t i = 0; i < count; ++i) {
+    LAPIS_ASSIGN_OR_RETURN(std::string soname,
+                           reader.ReadLengthPrefixedString());
+    LAPIS_ASSIGN_OR_RETURN(auto symbols, DecodeStringSet(reader));
+    resolution.used_exports.emplace_hint(resolution.used_exports.end(),
+                                         std::move(soname),
+                                         std::move(symbols));
+  }
+  LAPIS_ASSIGN_OR_RETURN(resolution.unresolved_imports,
+                         DecodeStringSet(reader));
+  LAPIS_ASSIGN_OR_RETURN(uint64_t fns, reader.ReadU64());
+  resolution.reachable_function_count = static_cast<size_t>(fns);
+  return resolution;
+}
+
+}  // namespace lapis::cache

@@ -1,0 +1,49 @@
+#include "src/cache/content_hash.h"
+
+namespace lapis::cache {
+
+uint64_t HashBytes(std::span<const uint8_t> bytes, uint64_t seed) {
+  uint64_t h = seed;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashString(std::string_view s, uint64_t seed) {
+  return HashBytes(
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()),
+                               s.size()),
+      seed);
+}
+
+uint64_t HashU64(uint64_t value, uint64_t seed) {
+  uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t BaseFingerprint(EntryKind kind, uint32_t schema_version) {
+  uint64_t h = kFnvOffsetBasis;
+  h = HashU64(schema_version, h);
+  h = HashU64(static_cast<uint64_t>(kind), h);
+  return h;
+}
+
+uint64_t ConfigFingerprint(const analysis::AnalyzerOptions& options,
+                           EntryKind kind, uint32_t schema_version) {
+  uint64_t h = BaseFingerprint(kind, schema_version);
+  // One bit per methodology switch; a new AnalyzerOptions field must be
+  // appended here (the soundness auditor in tests/cache_test.cc counts the
+  // struct's size as a tripwire).
+  h = HashU64(options.resolve_wrapper_opcodes ? 1 : 0, h);
+  h = HashU64(options.collect_pseudo_paths ? 1 : 0, h);
+  h = HashU64(options.use_dataflow ? 1 : 0, h);
+  return h;
+}
+
+}  // namespace lapis::cache

@@ -1,0 +1,215 @@
+#include "src/cache/footprint_cache.h"
+
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+namespace lapis::cache {
+
+namespace {
+
+constexpr uint32_t kRecordMagic = 0x3143504C;  // "LPC1" little-endian
+
+std::string ShardPath(const std::string& dir, size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%02zu.bin", index);
+  return dir + "/" + name;
+}
+
+uint64_t ReadLeU64(const uint8_t* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // x86-64 / little-endian hosts; matches ByteWriter convention
+}
+
+uint32_t ReadLeU32(const uint8_t* p) {
+  uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void AppendLeU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendLeU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+constexpr size_t kHeaderSize = 4 + 8 + 8 + 4;  // magic, content, fp, len
+constexpr size_t kTrailerSize = 8;             // payload checksum
+
+}  // namespace
+
+CacheStats CacheStats::operator-(const CacheStats& start) const {
+  CacheStats delta;
+  delta.hits = hits - start.hits;
+  delta.misses = misses - start.misses;
+  delta.inserts = inserts - start.inserts;
+  delta.bytes_read = bytes_read - start.bytes_read;
+  delta.bytes_written = bytes_written - start.bytes_written;
+  // Open-time and resident gauges are not windowed: report current values.
+  delta.entries_loaded = entries_loaded;
+  delta.corrupt_entries_dropped = corrupt_entries_dropped;
+  delta.entries = entries;
+  return delta;
+}
+
+Result<std::unique_ptr<FootprintCache>> FootprintCache::Open(
+    const std::string& dir) {
+  std::unique_ptr<FootprintCache> cache(new FootprintCache());
+  cache->dir_ = dir;
+  if (dir.empty()) {
+    return cache;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return IoError("cannot create cache dir " + dir + ": " + ec.message());
+  }
+  for (size_t i = 0; i < kShardCount; ++i) {
+    const std::string path = ShardPath(dir, i);
+    cache->LoadShard(i, path);
+    cache->shards_[i].log = std::fopen(path.c_str(), "ab");
+    if (cache->shards_[i].log == nullptr) {
+      // Unwritable shard: serve what was loaded, skip write-back for it.
+      continue;
+    }
+  }
+  return cache;
+}
+
+void FootprintCache::LoadShard(size_t index, const std::string& path) {
+  Shard& shard = shards_[index];
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return;  // first run: no log yet
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> data;
+  if (end > 0) {
+    data.resize(static_cast<size_t>(end));
+    if (std::fread(data.data(), 1, data.size(), f) != data.size()) {
+      data.clear();
+    }
+  }
+  std::fclose(f);
+
+  size_t pos = 0;
+  size_t valid_end = 0;
+  bool corrupt_tail = false;
+  while (data.size() - pos >= kHeaderSize) {
+    if (ReadLeU32(&data[pos]) != kRecordMagic) {
+      corrupt_tail = true;
+      break;
+    }
+    CacheKey key;
+    key.content = ReadLeU64(&data[pos + 4]);
+    key.fingerprint = ReadLeU64(&data[pos + 12]);
+    const uint32_t len = ReadLeU32(&data[pos + 20]);
+    if (data.size() - pos - kHeaderSize < len + kTrailerSize) {
+      corrupt_tail = true;  // truncated mid-record
+      break;
+    }
+    const uint8_t* payload = &data[pos + kHeaderSize];
+    const uint64_t checksum = ReadLeU64(payload + len);
+    if (HashBytes(std::span<const uint8_t>(payload, len)) != checksum) {
+      corrupt_tail = true;
+      break;
+    }
+    auto value = std::make_shared<std::vector<uint8_t>>(payload,
+                                                        payload + len);
+    if (shard.entries
+            .emplace(key,
+                     std::shared_ptr<const std::vector<uint8_t>>(value))
+            .second) {
+      ++entries_loaded_;
+      entries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pos += kHeaderSize + len + kTrailerSize;
+    valid_end = pos;
+  }
+  if (pos != data.size() || corrupt_tail) {
+    ++corrupt_entries_dropped_;
+    // Truncate back to the last whole record so future appends land on a
+    // readable boundary.
+    std::error_code ec;
+    std::filesystem::resize_file(path, valid_end, ec);
+  }
+}
+
+FootprintCache::~FootprintCache() {
+  for (Shard& shard : shards_) {
+    if (shard.log != nullptr) {
+      std::fclose(shard.log);
+    }
+  }
+}
+
+std::shared_ptr<const std::vector<uint8_t>> FootprintCache::Lookup(
+    const CacheKey& key) {
+  Shard& shard = shards_[key.content % kShardCount];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(it->second->size(), std::memory_order_relaxed);
+  return it->second;
+}
+
+void FootprintCache::Insert(const CacheKey& key,
+                            std::span<const uint8_t> payload) {
+  Shard& shard = shards_[key.content % kShardCount];
+  auto value = std::make_shared<std::vector<uint8_t>>(payload.begin(),
+                                                      payload.end());
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, fresh] = shard.entries.emplace(
+      key, std::shared_ptr<const std::vector<uint8_t>>(std::move(value)));
+  if (!fresh) {
+    return;  // already resident; identical payload by construction
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  bytes_written_.fetch_add(payload.size(), std::memory_order_relaxed);
+  if (shard.log == nullptr) {
+    return;
+  }
+  // One contiguous append per record: header + payload + checksum.
+  std::vector<uint8_t> record;
+  record.reserve(kHeaderSize + payload.size() + kTrailerSize);
+  AppendLeU32(record, kRecordMagic);
+  AppendLeU64(record, key.content);
+  AppendLeU64(record, key.fingerprint);
+  AppendLeU32(record, static_cast<uint32_t>(payload.size()));
+  record.insert(record.end(), payload.begin(), payload.end());
+  AppendLeU64(record, HashBytes(payload));
+  if (std::fwrite(record.data(), 1, record.size(), shard.log) ==
+      record.size()) {
+    std::fflush(shard.log);
+  }
+}
+
+CacheStats FootprintCache::stats() const {
+  CacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.inserts = inserts_.load(std::memory_order_relaxed);
+  out.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  out.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  out.entries_loaded = entries_loaded_;
+  out.corrupt_entries_dropped = corrupt_entries_dropped_;
+  out.entries = entries_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace lapis::cache

@@ -6,6 +6,9 @@
 #include "src/analysis/binary_analyzer.h"
 #include "src/analysis/library_resolver.h"
 #include "src/analysis/script_scanner.h"
+#include "src/cache/analysis_codec.h"
+#include "src/cache/content_hash.h"
+#include "src/cache/survey_codec.h"
 #include "src/corpus/api_universe.h"
 #include "src/corpus/syscall_table.h"
 #include "src/elf/elf_reader.h"
@@ -18,16 +21,69 @@ namespace {
 using analysis::BinaryAnalysis;
 using analysis::BinaryAnalyzer;
 using analysis::LibraryResolver;
+using cache::AnalysisCodec;
+using cache::FootprintCache;
 
 // One synthesized binary after the per-binary analysis fan-out. The raw
 // ELF bytes are dropped inside the worker shard; only the analysis
-// (everything downstream needs) survives.
+// (everything downstream needs) and the content hash (the cache key for
+// derived entries) survive.
 struct AnalyzedBinary {
   std::string name;
   bool is_library = false;
   bool is_static = false;
+  // FNV-1a of the raw ELF bytes; 0 when no cache is configured.
+  uint64_t content_hash = 0;
+  bool from_cache = false;
   std::shared_ptr<const BinaryAnalysis> analysis;
 };
+
+// Per-run cache context threaded through the pipeline stages. `cache` may be
+// null (cache disabled); the fingerprints are computed once per run.
+struct CacheContext {
+  FootprintCache* cache = nullptr;
+  uint64_t analysis_fp = 0;
+  uint64_t libreach_fp = 0;
+  uint64_t resolution_fp = 0;
+
+  explicit operator bool() const { return cache != nullptr; }
+};
+
+// Analyzes one ELF binary, going through the cache when enabled: on a hit
+// the serialized BinaryAnalysis is decoded (no parse/sweep/CFG/dataflow);
+// on a miss (or an undecodable payload) the analysis runs and is written
+// back. Safe on any worker shard.
+Result<std::shared_ptr<const BinaryAnalysis>> AnalyzeOrDecode(
+    const std::vector<uint8_t>& bytes,
+    const analysis::AnalyzerOptions& analyzer, const CacheContext& ctx,
+    uint64_t* content_hash, bool* from_cache) {
+  *from_cache = false;
+  *content_hash = 0;
+  if (ctx) {
+    *content_hash = cache::HashBytes(bytes);
+    auto payload = ctx.cache->Lookup({*content_hash, ctx.analysis_fp});
+    if (payload != nullptr) {
+      ByteReader reader(*payload);
+      auto decoded = AnalysisCodec::Decode(reader);
+      if (decoded.ok()) {
+        *from_cache = true;
+        return std::shared_ptr<const BinaryAnalysis>(
+            std::make_shared<BinaryAnalysis>(decoded.take()));
+      }
+      // Undecodable payload: treat as a miss and recompute.
+    }
+  }
+  LAPIS_ASSIGN_OR_RETURN(auto image, elf::ElfReader::Parse(bytes));
+  LAPIS_ASSIGN_OR_RETURN(auto analysis,
+                         BinaryAnalyzer::Analyze(image, analyzer));
+  auto shared = std::make_shared<BinaryAnalysis>(std::move(analysis));
+  if (ctx) {
+    ByteWriter writer;
+    AnalysisCodec::Encode(*shared, writer);
+    ctx.cache->Insert({*content_hash, ctx.analysis_fp}, writer.bytes());
+  }
+  return std::shared_ptr<const BinaryAnalysis>(std::move(shared));
+}
 
 // Shard result of the synthesize+analyze stage for one package.
 struct PackageAnalysis {
@@ -39,6 +95,7 @@ struct PackageAnalysis {
 // resolution per non-library binary, in package binary order.
 struct PackageResolution {
   std::vector<LibraryResolver::Resolution> resolutions;
+  size_t from_cache = 0;
 };
 
 // Shard result of the script-classification stage for one package.
@@ -52,7 +109,7 @@ struct PackageScripts {
 PackageAnalysis AnalyzePackage(const DistroSynthesizer& synthesizer,
                                const DistroSpec& spec,
                                const analysis::AnalyzerOptions& analyzer,
-                               size_t pkg) {
+                               const CacheContext& ctx, size_t pkg) {
   PackageAnalysis out;
   const PackagePlan& plan = spec.packages[pkg];
   if (plan.data_only || !plan.interpreter_package.empty()) {
@@ -64,25 +121,50 @@ PackageAnalysis AnalyzePackage(const DistroSynthesizer& synthesizer,
     return out;
   }
   for (auto& binary : binaries.value()) {
-    auto image = elf::ElfReader::Parse(binary.bytes);
-    if (!image.ok()) {
-      out.status = image.status();
-      return out;
-    }
-    auto analysis = BinaryAnalyzer::Analyze(image.value(), analyzer);
-    if (!analysis.ok()) {
-      out.status = analysis.status();
-      return out;
-    }
     AnalyzedBinary analyzed;
     analyzed.name = std::move(binary.name);
     analyzed.is_library = binary.is_library;
     analyzed.is_static = binary.is_static;
-    analyzed.analysis =
-        std::make_shared<BinaryAnalysis>(analysis.take());
+    auto analysis = AnalyzeOrDecode(binary.bytes, analyzer, ctx,
+                                    &analyzed.content_hash,
+                                    &analyzed.from_cache);
+    if (!analysis.ok()) {
+      out.status = analysis.status();
+      return out;
+    }
+    analyzed.analysis = analysis.take();
     out.binaries.push_back(std::move(analyzed));
   }
   return out;
+}
+
+// Registers one analyzed library with the resolver, restoring its memoized
+// per-export reachability from the cache when possible and writing it back
+// after a recompute. Called in canonical registration order only.
+Status RegisterLibrary(const AnalyzedBinary& binary, const CacheContext& ctx,
+                       LibraryResolver& resolver) {
+  if (ctx && binary.content_hash != 0) {
+    auto payload = ctx.cache->Lookup({binary.content_hash, ctx.libreach_fp});
+    if (payload != nullptr) {
+      ByteReader reader(*payload);
+      auto reach = AnalysisCodec::DecodeExportReach(reader);
+      if (reach.ok()) {
+        return resolver.AddLibrary(binary.analysis, reach.take());
+      }
+      // Undecodable payload: recompute below.
+    }
+  }
+  LAPIS_RETURN_IF_ERROR(resolver.AddLibrary(binary.analysis));
+  if (ctx && binary.content_hash != 0) {
+    const auto* reach = resolver.ExportReachOf(binary.analysis->soname());
+    if (reach != nullptr) {
+      ByteWriter writer;
+      AnalysisCodec::EncodeExportReach(*reach, writer);
+      ctx.cache->Insert({binary.content_hash, ctx.libreach_fp},
+                        writer.bytes());
+    }
+  }
+  return Status::Ok();
 }
 
 // Folds one analyzed binary's counters into the study result — called in
@@ -156,9 +238,31 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
     executor = owned_executor.get();
   }
 
+  // ---- Incremental cache (optional) ----
+  std::unique_ptr<FootprintCache> owned_cache;
+  FootprintCache* cache_ptr = options.cache;
+  if (cache_ptr == nullptr && !options.cache_dir.empty()) {
+    LAPIS_ASSIGN_OR_RETURN(owned_cache,
+                           FootprintCache::Open(options.cache_dir));
+    cache_ptr = owned_cache.get();
+  }
+  CacheContext ctx;
+  ctx.cache = cache_ptr;
+  if (ctx) {
+    ctx.analysis_fp = cache::ConfigFingerprint(options.analyzer,
+                                               cache::EntryKind::kAnalysis);
+    ctx.libreach_fp = cache::ConfigFingerprint(options.analyzer,
+                                               cache::EntryKind::kLibReach);
+    ctx.resolution_fp = cache::ConfigFingerprint(
+        options.analyzer, cache::EntryKind::kResolution);
+  }
+  const cache::CacheStats cache_start =
+      ctx ? ctx.cache->stats() : cache::CacheStats{};
+
   StudyResult result;
   result.jobs_used = executor->thread_count();
   result.analyzer_options = options.analyzer;
+  result.cache_enabled = static_cast<bool>(ctx);
   runtime::PipelineStats& stats = result.pipeline_stats;
 
   {
@@ -179,44 +283,47 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
   }
 
   // ---- Core libraries: analyze shards in parallel, register in order ----
+  // The link fingerprint folds every registered library's content hash in
+  // registration order; it keys per-executable resolutions, which are only
+  // valid against an identical library set.
   LibraryResolver resolver(executor);
+  uint64_t link_fp = ctx.resolution_fp;
   {
     runtime::StageTimer timer(&stats, "core-libs");
     LAPIS_ASSIGN_OR_RETURN(auto core_libs, synthesizer.CoreLibraries());
     struct CoreShard {
       Status status;
-      std::shared_ptr<const BinaryAnalysis> analysis;
+      AnalyzedBinary binary;
     };
     auto shards = runtime::ParallelMap(
-        executor, core_libs.size(), [&core_libs, &options](size_t i) {
+        executor, core_libs.size(), [&core_libs, &options, &ctx](size_t i) {
           CoreShard shard;
-          auto image = elf::ElfReader::Parse(core_libs[i].bytes);
-          if (!image.ok()) {
-            shard.status = image.status();
-            return shard;
-          }
+          shard.binary.name = core_libs[i].name;
+          shard.binary.is_library = true;
           auto analysis =
-              BinaryAnalyzer::Analyze(image.value(), options.analyzer);
+              AnalyzeOrDecode(core_libs[i].bytes, options.analyzer, ctx,
+                              &shard.binary.content_hash,
+                              &shard.binary.from_cache);
           if (!analysis.ok()) {
             shard.status = analysis.status();
             return shard;
           }
-          shard.analysis =
-              std::make_shared<BinaryAnalysis>(analysis.take());
+          shard.binary.analysis = analysis.take();
           return shard;
         });
     for (size_t i = 0; i < shards.size(); ++i) {
       LAPIS_RETURN_IF_ERROR(shards[i].status);
-      AnalyzedBinary analyzed;
-      analyzed.name = core_libs[i].name;
-      analyzed.is_library = true;
-      analyzed.analysis = shards[i].analysis;
+      const AnalyzedBinary& analyzed = shards[i].binary;
       FoldBinaryCounters(analyzed, result);
-      LAPIS_RETURN_IF_ERROR(resolver.AddLibrary(shards[i].analysis));
+      if (analyzed.from_cache) {
+        ++result.analyses_from_cache;
+      }
+      LAPIS_RETURN_IF_ERROR(RegisterLibrary(analyzed, ctx, resolver));
+      link_fp = cache::HashU64(analyzed.content_hash, link_fp);
       result.binary_stats.elf_shared_libraries += 1;
-      if (core_libs[i].name == kLibcSoname) {
+      if (analyzed.name == kLibcSoname) {
         // Record measured per-symbol sizes for the §3.5 analysis.
-        for (const auto& fn : shards[i].analysis->functions()) {
+        for (const auto& fn : analyzed.analysis->functions()) {
           uint32_t id = result.libc_interner.Find(fn.name);
           if (id != UINT32_MAX) {
             result.libc_symbol_sizes[id] = fn.size;
@@ -234,9 +341,9 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
     runtime::StageTimer timer(&stats, "synthesize+analyze");
     analyzed = runtime::ParallelMap(
         executor, package_count,
-        [&synthesizer, &result, &options](size_t pkg) {
+        [&synthesizer, &result, &options, &ctx](size_t pkg) {
           return AnalyzePackage(synthesizer, result.spec, options.analyzer,
-                                pkg);
+                                ctx, pkg);
         });
     for (const auto& shard : analyzed) {
       timer.AddItems(shard.binaries.size());
@@ -251,8 +358,12 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
       LAPIS_RETURN_IF_ERROR(analyzed[pkg].status);
       for (const auto& binary : analyzed[pkg].binaries) {
         FoldBinaryCounters(binary, result);
+        if (binary.from_cache) {
+          ++result.analyses_from_cache;
+        }
         if (binary.is_library) {
-          LAPIS_RETURN_IF_ERROR(resolver.AddLibrary(binary.analysis));
+          LAPIS_RETURN_IF_ERROR(RegisterLibrary(binary, ctx, resolver));
+          link_fp = cache::HashU64(binary.content_hash, link_fp);
           result.binary_stats.elf_shared_libraries += 1;
         } else if (binary.is_static) {
           result.binary_stats.elf_static += 1;
@@ -271,19 +382,41 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
   {
     runtime::StageTimer timer(&stats, "resolve");
     resolved = runtime::ParallelMap(
-        executor, package_count, [&analyzed, &resolver](size_t pkg) {
+        executor, package_count,
+        [&analyzed, &resolver, &ctx, link_fp](size_t pkg) {
           PackageResolution out;
           for (const auto& binary : analyzed[pkg].binaries) {
             if (binary.is_library) {
               continue;
             }
+            if (ctx && binary.content_hash != 0) {
+              auto payload =
+                  ctx.cache->Lookup({binary.content_hash, link_fp});
+              if (payload != nullptr) {
+                ByteReader reader(*payload);
+                auto decoded = AnalysisCodec::DecodeResolution(reader);
+                if (decoded.ok()) {
+                  out.resolutions.push_back(decoded.take());
+                  ++out.from_cache;
+                  continue;
+                }
+              }
+            }
             out.resolutions.push_back(
                 resolver.ResolveExecutable(*binary.analysis));
+            if (ctx && binary.content_hash != 0) {
+              ByteWriter writer;
+              AnalysisCodec::EncodeResolution(out.resolutions.back(),
+                                              writer);
+              ctx.cache->Insert({binary.content_hash, link_fp},
+                                writer.bytes());
+            }
           }
           return out;
         });
     for (const auto& shard : resolved) {
       timer.AddItems(shard.resolutions.size());
+      result.resolutions_from_cache += shard.from_cache;
     }
   }
 
@@ -512,9 +645,36 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
     popcon.profile_count = options.popcon_profile_count;
     popcon.profile_boost = options.popcon_profile_boost;
     popcon.seed = options.distro.seed ^ 0x9e3779b97f4a7c15ULL;
-    LAPIS_ASSIGN_OR_RETURN(
-        result.survey,
-        package::PopconSimulator::Run(result.repository, marginals, popcon));
+    // The survey is a pure function of (repository, marginals, options):
+    // cacheable by input hash. Its fingerprint deliberately excludes the
+    // analyzer switches — flipping use_dataflow must not invalidate it.
+    cache::CacheKey survey_key;
+    bool survey_restored = false;
+    if (ctx) {
+      survey_key.content =
+          cache::HashSurveyInputs(result.repository, marginals, popcon);
+      survey_key.fingerprint =
+          cache::BaseFingerprint(cache::EntryKind::kSurvey);
+      auto payload = ctx.cache->Lookup(survey_key);
+      if (payload != nullptr) {
+        ByteReader reader(*payload);
+        auto decoded = cache::SurveyCodec::Decode(reader);
+        if (decoded.ok()) {
+          result.survey = decoded.take();
+          survey_restored = true;
+        }
+      }
+    }
+    if (!survey_restored) {
+      LAPIS_ASSIGN_OR_RETURN(result.survey,
+                             package::PopconSimulator::Run(
+                                 result.repository, marginals, popcon));
+      if (ctx) {
+        ByteWriter writer;
+        cache::SurveyCodec::Encode(result.survey, writer);
+        ctx.cache->Insert(survey_key, writer.bytes());
+      }
+    }
     timer.AddItems(options.distro.installation_count);
   }
 
@@ -547,6 +707,9 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
   }
 
   result.executor_stats = executor->stats();
+  if (ctx) {
+    result.cache_stats = ctx.cache->stats() - cache_start;
+  }
   return result;
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/analysis/audit.h"
+#include "src/cache/footprint_cache.h"
 #include "src/core/api_id.h"
 #include "src/core/dataset.h"
 #include "src/corpus/binary_synth.h"
@@ -58,6 +59,15 @@ struct StudyOptions {
   size_t jobs = 0;
   // Run on an existing pool instead of creating one (overrides `jobs`).
   runtime::Executor* executor = nullptr;
+  // Content-addressed incremental cache (src/cache). Non-empty `cache_dir`
+  // opens (creating if needed) a persistent store there; on a hit the whole
+  // per-binary analysis chain (ELF parse, linear sweep, CFG, dataflow), the
+  // per-library export reachability, the per-executable resolution, and the
+  // popcon survey are skipped. Exports are byte-identical cold vs. warm.
+  std::string cache_dir;
+  // Run against an existing cache instance instead (overrides `cache_dir`;
+  // not owned). In-process warm-run benches use this.
+  cache::FootprintCache* cache = nullptr;
 };
 
 struct BinaryStats {
@@ -113,6 +123,14 @@ struct StudyResult {
   runtime::PipelineStats pipeline_stats;
   runtime::ExecutorStats executor_stats;
   size_t jobs_used = 1;
+
+  // Incremental-cache accounting for this run (all-zero when no cache was
+  // configured). `cache_stats` is windowed to this run even on a shared
+  // cache instance.
+  bool cache_enabled = false;
+  cache::CacheStats cache_stats;
+  size_t analyses_from_cache = 0;     // binaries restored via kAnalysis hits
+  size_t resolutions_from_cache = 0;  // executables restored via kResolution
 };
 
 Result<StudyResult> RunStudy(const StudyOptions& options);

@@ -696,18 +696,25 @@ Result<Insn> DecodeOne(std::span<const uint8_t> bytes, uint64_t vaddr) {
 
 SweepResult LinearSweep(std::span<const uint8_t> bytes, uint64_t vaddr) {
   SweepResult result;
+  LinearSweepInto(bytes, vaddr, result);
+  return result;
+}
+
+void LinearSweepInto(std::span<const uint8_t> bytes, uint64_t vaddr,
+                     SweepResult& out) {
+  out.insns.clear();
+  out.complete = true;
   size_t pos = 0;
   while (pos < bytes.size()) {
     auto decoded = DecodeOne(bytes.subspan(pos), vaddr + pos);
     if (!decoded.ok()) {
-      result.complete = false;
+      out.complete = false;
       break;
     }
     pos += decoded.value().length;
-    result.insns.push_back(decoded.take());
+    out.insns.push_back(decoded.take());
   }
-  result.decoded_bytes = pos;
-  return result;
+  out.decoded_bytes = pos;
 }
 
 }  // namespace lapis::disasm

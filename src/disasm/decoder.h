@@ -37,6 +37,11 @@ struct SweepResult {
 
 SweepResult LinearSweep(std::span<const uint8_t> bytes, uint64_t vaddr);
 
+// Sweeps into caller-owned storage: `out.insns` is cleared but keeps its
+// capacity, so a loop over many function bodies reuses one allocation.
+void LinearSweepInto(std::span<const uint8_t> bytes, uint64_t vaddr,
+                     SweepResult& out);
+
 }  // namespace lapis::disasm
 
 #endif  // LAPIS_SRC_DISASM_DECODER_H_

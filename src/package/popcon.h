@@ -33,6 +33,14 @@ class InstallationSet {
   }
   size_t CountInstalled() const;
 
+  // Raw bitset words, for serialization (src/cache survey codec).
+  const std::vector<uint64_t>& words() const { return bits_; }
+  static InstallationSet FromWords(std::vector<uint64_t> words) {
+    InstallationSet set(0);
+    set.bits_ = std::move(words);
+    return set;
+  }
+
  private:
   std::vector<uint64_t> bits_;
 };

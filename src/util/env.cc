@@ -17,4 +17,12 @@ size_t EnvSizeOr(const char* name, size_t fallback) {
   return static_cast<size_t>(parsed);
 }
 
+std::string EnvStringOr(const char* name, std::string_view fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') {
+    return std::string(fallback);
+  }
+  return value;
+}
+
 }  // namespace lapis

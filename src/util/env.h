@@ -4,12 +4,17 @@
 #define LAPIS_SRC_UTIL_ENV_H_
 
 #include <cstddef>
+#include <string>
+#include <string_view>
 
 namespace lapis {
 
 // Parses environment variable `name` as a positive size; returns `fallback`
 // when unset, empty, non-numeric, or non-positive.
 size_t EnvSizeOr(const char* name, size_t fallback);
+
+// Returns environment variable `name`, or `fallback` when unset or empty.
+std::string EnvStringOr(const char* name, std::string_view fallback);
 
 }  // namespace lapis
 

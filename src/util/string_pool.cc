@@ -1,0 +1,48 @@
+#include "src/util/string_pool.h"
+
+#include <mutex>
+
+namespace lapis {
+
+uint32_t StringPool::Intern(std::string_view s) {
+  {
+    std::shared_lock lock(mutex_);
+    auto it = ids_.find(s);
+    if (it != ids_.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto it = ids_.find(s);  // racer may have interned it meanwhile
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(std::string_view(names_.back()), id);
+  payload_bytes_ += s.size();
+  return id;
+}
+
+uint32_t StringPool::Find(std::string_view s) const {
+  std::shared_lock lock(mutex_);
+  auto it = ids_.find(s);
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+std::string_view StringPool::NameOf(uint32_t id) const {
+  std::shared_lock lock(mutex_);
+  return names_[id];
+}
+
+size_t StringPool::size() const {
+  std::shared_lock lock(mutex_);
+  return names_.size();
+}
+
+size_t StringPool::payload_bytes() const {
+  std::shared_lock lock(mutex_);
+  return payload_bytes_;
+}
+
+}  // namespace lapis

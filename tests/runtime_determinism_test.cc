@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cache/footprint_cache.h"
 #include "src/core/report.h"
 #include "src/corpus/study_runner.h"
 
@@ -21,14 +22,16 @@ struct Exports {
   size_t analyzed_binaries = 0;
   size_t ground_truth_mismatches = 0;
   size_t jobs_used = 0;
+  size_t analyses_from_cache = 0;
 };
 
-Exports RunAndExport(uint64_t seed, size_t jobs,
-                     bool use_dataflow = true) {
+Exports RunAndExport(uint64_t seed, size_t jobs, bool use_dataflow = true,
+                     cache::FootprintCache* cache = nullptr) {
   corpus::StudyOptions options = corpus::SmallStudyOptions();
   options.distro.seed = seed;
   options.jobs = jobs;
   options.analyzer.use_dataflow = use_dataflow;
+  options.cache = cache;
   auto study = corpus::RunStudy(options);
   EXPECT_TRUE(study.ok()) << study.status().ToString();
   Exports out;
@@ -36,6 +39,7 @@ Exports RunAndExport(uint64_t seed, size_t jobs,
   out.analyzed_binaries = result.analyzed_binaries;
   out.ground_truth_mismatches = result.ground_truth_mismatches;
   out.jobs_used = result.jobs_used;
+  out.analyses_from_cache = result.analyses_from_cache;
 
   std::ostringstream importance;
   EXPECT_TRUE(core::ExportImportanceTsv(
@@ -106,6 +110,49 @@ TEST(RuntimeDeterminism, LinearModeExportsAreByteIdenticalAcrossJobCounts) {
   EXPECT_EQ(parallel.packages, sequential.packages);
   EXPECT_EQ(parallel.footprints, sequential.footprints);
 }
+
+// The incremental cache must not pierce the determinism guarantee: for each
+// seed, cold cache × warm cache × jobs ∈ {1, 8} all export byte-identical
+// TSVs. A warm run replays decoded payloads through the same canonical-order
+// folds, so neither cache state nor scheduling may leak into the output.
+class CacheDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheDeterminismTest, ColdAndWarmExportsAreByteIdentical) {
+  const uint64_t seed = GetParam();
+  Exports reference = RunAndExport(seed, 1);  // no cache at all
+
+  auto cache = cache::FootprintCache::Open("");
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  struct Config {
+    const char* label;
+    size_t jobs;
+  };
+  // First iteration populates the cache (cold); later ones run warm.
+  for (const Config& config : {Config{"cold jobs=1", 1},
+                               Config{"warm jobs=1", 1},
+                               Config{"warm jobs=8", 8}}) {
+    Exports run = RunAndExport(seed, config.jobs, /*use_dataflow=*/true,
+                               cache.value().get());
+    EXPECT_EQ(run.jobs_used, config.jobs) << config.label;
+    EXPECT_EQ(run.analyzed_binaries, reference.analyzed_binaries)
+        << config.label;
+    EXPECT_EQ(run.importance, reference.importance)
+        << "api_importance.tsv differs: " << config.label;
+    EXPECT_EQ(run.packages, reference.packages)
+        << "packages.tsv differs: " << config.label;
+    EXPECT_EQ(run.footprints, reference.footprints)
+        << "footprints.tsv differs: " << config.label;
+  }
+  // The last (warm, parallel) run must actually have exercised the cache.
+  Exports warm = RunAndExport(seed, 8, /*use_dataflow=*/true,
+                              cache.value().get());
+  EXPECT_EQ(warm.analyses_from_cache, warm.analyzed_binaries);
+  EXPECT_EQ(warm.footprints, reference.footprints);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoSeeds, CacheDeterminismTest,
+                         ::testing::Values(uint64_t{20160418},
+                                           uint64_t{424242}));
 
 // Audit counters are folded in canonical order; the report must be
 // identical at any worker count.

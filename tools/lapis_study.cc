@@ -22,6 +22,7 @@
 #include "src/corpus/study_runner.h"
 #include "src/corpus/syscall_table.h"
 #include "src/corpus/system_profiles.h"
+#include "src/util/env.h"
 #include "src/util/flags.h"
 #include "src/util/strings.h"
 #include "src/util/table_writer.h"
@@ -104,6 +105,10 @@ int main(int argc, char** argv) {
   flags.AddBool("audit", false,
                 "differentially replay every executable against its "
                 "static footprint and report soundness/precision");
+  flags.AddString("cache-dir", "",
+                  "content-addressed incremental cache directory (default: "
+                  "$LAPIS_CACHE_DIR; empty = no cache); warm runs skip the "
+                  "per-binary analysis pipeline with identical output");
   auto status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -157,6 +162,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     options.audit = flags.GetBool("audit");
+    options.cache_dir = flags.GetString("cache-dir").empty()
+                            ? EnvStringOr("LAPIS_CACHE_DIR", "")
+                            : flags.GetString("cache-dir");
     std::printf("generating corpus and running the analysis pipeline "
                 "(%s constant propagation)...\n",
                 analysis_mode.c_str());
@@ -193,6 +201,20 @@ int main(int argc, char** argv) {
       std::printf("  stage %-20s %7.2fs wall  %7.2fs cpu  %zu items\n",
                   stage.c_str(), record.wall_seconds, record.cpu_seconds,
                   record.items);
+    }
+    if (study.value().cache_enabled) {
+      const auto& cs = study.value().cache_stats;
+      std::printf(
+          "cache: %llu hits / %llu lookups (%.1f%%), %zu/%zu analyses "
+          "restored, %llu KiB read, %llu KiB written, %llu corrupt "
+          "entries dropped\n",
+          static_cast<unsigned long long>(cs.hits),
+          static_cast<unsigned long long>(cs.Lookups()),
+          100.0 * cs.HitRate(), study.value().analyses_from_cache,
+          study.value().analyzed_binaries,
+          static_cast<unsigned long long>(cs.bytes_read / 1024),
+          static_cast<unsigned long long>(cs.bytes_written / 1024),
+          static_cast<unsigned long long>(cs.corrupt_entries_dropped));
     }
     if (!flags.GetString("save").empty()) {
       auto save = corpus::SaveStudy(study.value(), flags.GetString("save"));
