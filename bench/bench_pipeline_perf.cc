@@ -451,9 +451,17 @@ int WriteColdWarmJson() {
   os << "\n  },\n";
   std::snprintf(buf, sizeof buf,
                 "  \"warm_vs_cold\": { \"speedup\": %.2f, "
-                "\"hit_rate\": %.4f, \"analysis_skip_fraction\": %.4f }\n",
+                "\"hit_rate\": %.4f, \"analysis_skip_fraction\": %.4f },\n",
                 speedup, warm.value().result.cache_stats.HitRate(),
                 skip_fraction);
+  os << buf;
+  // ru_maxrss is a process-lifetime high-water mark, so this covers the
+  // cold run, the warm run, and everything either allocated transiently.
+  std::snprintf(buf, sizeof buf,
+                "  \"memory\": { \"max_rss_kib\": %" PRIu64
+                ", \"note\": \"process peak across both runs "
+                "(getrusage ru_maxrss)\" }\n",
+                runtime::PeakRssKib());
   os << buf;
   os << "}\n";
 
@@ -466,10 +474,11 @@ int WriteColdWarmJson() {
   }
   std::fprintf(stderr,
                "[bench_pipeline_perf] wrote %s (cold %.3fs, warm %.3fs, "
-               "%.1fx, hit rate %.1f%%)\n",
+               "%.1fx, hit rate %.1f%%, peak RSS %" PRIu64 " KiB)\n",
                path.c_str(), cold.value().wall_seconds,
                warm.value().wall_seconds, speedup,
-               100.0 * warm.value().result.cache_stats.HitRate());
+               100.0 * warm.value().result.cache_stats.HitRate(),
+               runtime::PeakRssKib());
   return 0;
 }
 

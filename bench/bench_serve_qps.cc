@@ -1,0 +1,389 @@
+// lapis_serve throughput/latency benchmark: runs a study in-process, saves
+// the artifact, then measures against a live daemon (in-process Server on a
+// Unix socket):
+//
+//   * cold snapshot load (artifact file -> ready-to-serve Snapshot)
+//   * warm generation swap (Publish of a prebuilt snapshot, under load)
+//   * QPS + p50/p99 frame latency for the three query kinds: point
+//     importance lookups (batched), profile evaluation, top-K ranking
+//
+// Results go to BENCH_serve.json (override with LAPIS_SERVE_BENCH_JSON).
+// Scale knobs: LAPIS_BENCH_APPS / LAPIS_BENCH_INSTALLS (study size),
+// LAPIS_SERVE_BENCH_CLIENTS (client threads), LAPIS_SERVE_BENCH_SECONDS
+// (measure window per query kind).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/corpus/dataset_io.h"
+#include "src/corpus/study_runner.h"
+#include "src/corpus/syscall_table.h"
+#include "src/runtime/stage_stats.h"
+#include "src/serve/client.h"
+#include "src/serve/generation.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "src/serve/snapshot.h"
+#include "src/util/env.h"
+
+namespace lapis {
+namespace {
+
+std::string CpuModel() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    auto colon = line.find(':');
+    if (colon != std::string::npos &&
+        line.compare(0, 10, "model name") == 0) {
+      size_t start = line.find_first_not_of(" \t", colon + 1);
+      return start == std::string::npos ? "" : line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+std::string KernelRelease() {
+  std::ifstream in("/proc/sys/kernel/osrelease");
+  std::string release;
+  std::getline(in, release);
+  return release.empty() ? "unknown" : release;
+}
+
+std::string IsoDate() {
+  std::time_t now = std::time(nullptr);
+  char buf[16];
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm_utc);
+  return buf;
+}
+
+struct LoadResult {
+  double qps = 0.0;             // requests per second (batch-adjusted)
+  double frames_per_second = 0.0;
+  double p50_us = 0.0;          // per-frame round-trip latency
+  double p99_us = 0.0;
+  uint64_t frames = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+};
+
+double Percentile(std::vector<double>& sorted_us, double fraction) {
+  if (sorted_us.empty()) {
+    return 0.0;
+  }
+  size_t index = static_cast<size_t>(
+      fraction * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(index, sorted_us.size() - 1)];
+}
+
+// Drives `clients` threads against the daemon for ~`seconds`, each thread
+// sending its own copy of `batch` as one frame per round trip. Per-frame
+// latencies are measured client-side.
+LoadResult RunLoad(const std::string& socket_path,
+                   const std::vector<serve::QueryRequest>& batch,
+                   size_t clients, double seconds) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = serve::QueryClient::ConnectUnix(socket_path);
+      if (!client.ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      auto& samples = latencies[t];
+      samples.reserve(65536);
+      while (!stop.load(std::memory_order_relaxed)) {
+        double start = runtime::MonotonicSeconds();
+        auto responses = client.value().Call(batch);
+        double elapsed = runtime::MonotonicSeconds() - start;
+        if (!responses.ok() || responses.value().size() != batch.size()) {
+          errors.fetch_add(1);
+          return;
+        }
+        for (const auto& response : responses.value()) {
+          if (response.status != serve::WireStatus::kOk) {
+            errors.fetch_add(1);
+          }
+        }
+        samples.push_back(elapsed * 1e6);
+      }
+    });
+  }
+  double start = runtime::MonotonicSeconds();
+  while (runtime::MonotonicSeconds() - start < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true);
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  double window = runtime::MonotonicSeconds() - start;
+
+  LoadResult result;
+  std::vector<double> all;
+  for (const auto& samples : latencies) {
+    result.frames += samples.size();
+    all.insert(all.end(), samples.begin(), samples.end());
+  }
+  result.requests = result.frames * batch.size();
+  result.errors = errors.load();
+  result.frames_per_second = static_cast<double>(result.frames) / window;
+  result.qps = static_cast<double>(result.requests) / window;
+  std::sort(all.begin(), all.end());
+  result.p50_us = Percentile(all, 0.50);
+  result.p99_us = Percentile(all, 0.99);
+  return result;
+}
+
+void AppendLoad(std::ostringstream& os, const char* label,
+                const LoadResult& load, size_t batch, bool last = false) {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "    \"%s\": { \"qps\": %.0f, \"frames_per_s\": %.0f, "
+                "\"batch\": %zu, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+                "\"frames\": %" PRIu64 ", \"errors\": %" PRIu64 " }%s\n",
+                label, load.qps, load.frames_per_second, batch, load.p50_us,
+                load.p99_us, load.frames, load.errors, last ? "" : ",");
+  os << buf;
+}
+
+int Run() {
+  corpus::StudyOptions options;
+  options.distro.app_package_count = EnvSizeOr("LAPIS_BENCH_APPS", 1000);
+  options.distro.installation_count =
+      EnvSizeOr("LAPIS_BENCH_INSTALLS", 50000);
+  size_t clients = EnvSizeOr("LAPIS_SERVE_BENCH_CLIENTS", 4);
+  double seconds =
+      static_cast<double>(EnvSizeOr("LAPIS_SERVE_BENCH_SECONDS", 3));
+
+  std::fprintf(stderr, "[bench_serve_qps] running study (%zu apps)...\n",
+               options.distro.app_package_count);
+  auto study = corpus::RunStudy(options);
+  if (!study.ok()) {
+    std::fprintf(stderr, "study failed: %s\n",
+                 study.status().ToString().c_str());
+    return 1;
+  }
+
+  auto artifact_path = std::filesystem::temp_directory_path() /
+                       ("lapis-serve-bench-" + std::to_string(::getpid()) +
+                        ".bin");
+  auto save = corpus::SaveStudy(study.value(), artifact_path.string());
+  if (!save.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", save.ToString().c_str());
+    return 1;
+  }
+
+  // Cold load: artifact file -> query-ready snapshot (deserialize + rank +
+  // intern), the daemon's startup cost.
+  double cold_start = runtime::MonotonicSeconds();
+  auto snapshot = serve::Snapshot::FromFile(artifact_path.string());
+  double cold_load_ms =
+      (runtime::MonotonicSeconds() - cold_start) * 1e3;
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  auto artifact_bytes = std::filesystem::file_size(artifact_path);
+
+  serve::GenerationStore store;
+  store.Publish(snapshot.value());
+
+  serve::ServerOptions server_options;
+  server_options.unix_socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("lapis-serve-bench-" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  server_options.workers = clients;
+  auto server = serve::Server::Start(server_options, &store);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  // Point lookups: a batch of 32 importance queries per frame, cycling
+  // through the busiest syscall names.
+  std::vector<serve::QueryRequest> point_batch;
+  auto ranked = study.value().dataset->RankByImportance(
+      core::ApiKind::kSyscall);
+  for (size_t i = 0; i < 32 && i < ranked.size(); ++i) {
+    serve::QueryRequest request;
+    request.opcode = serve::Opcode::kImportance;
+    request.api.kind = core::ApiKind::kSyscall;
+    request.api.name = std::string(
+        corpus::SyscallName(static_cast<int>(ranked[i].code)));
+    point_batch.push_back(std::move(request));
+  }
+
+  // Profile evaluation: one completeness computation per frame over a
+  // 100-syscall profile (the expensive query).
+  std::vector<serve::QueryRequest> eval_batch(1);
+  eval_batch[0].opcode = serve::Opcode::kEvalProfile;
+  eval_batch[0].evaluated_kinds_mask =
+      1u << static_cast<uint8_t>(core::ApiKind::kSyscall);
+  for (size_t i = 0; i < 100 && i < ranked.size(); ++i) {
+    serve::ApiRef ref;
+    ref.kind = core::ApiKind::kSyscall;
+    ref.name = std::string(
+        corpus::SyscallName(static_cast<int>(ranked[i].code)));
+    eval_batch[0].supported.push_back(std::move(ref));
+  }
+
+  // Top-K: rank the 20 best next syscalls given a 50-call profile.
+  std::vector<serve::QueryRequest> topk_batch(1);
+  topk_batch[0].opcode = serve::Opcode::kTopK;
+  topk_batch[0].top_kind = core::ApiKind::kSyscall;
+  topk_batch[0].top_k = 20;
+  for (size_t i = 0; i < 50 && i < ranked.size(); ++i) {
+    serve::ApiRef ref;
+    ref.kind = core::ApiKind::kSyscall;
+    ref.name = std::string(
+        corpus::SyscallName(static_cast<int>(ranked[i].code)));
+    topk_batch[0].supported.push_back(std::move(ref));
+  }
+
+  std::fprintf(stderr,
+               "[bench_serve_qps] load: %zu clients x %.0fs per kind\n",
+               clients, seconds);
+  auto point = RunLoad(server_options.unix_socket_path, point_batch,
+                       clients, seconds);
+  auto eval = RunLoad(server_options.unix_socket_path, eval_batch, clients,
+                      seconds);
+  auto topk = RunLoad(server_options.unix_socket_path, topk_batch, clients,
+                      seconds);
+
+  // Warm generation swaps while point-lookup load is running: the swap
+  // itself is O(1); measure Publish latency and confirm zero client
+  // errors during ~50 swaps.
+  auto alternate = serve::Snapshot::FromFile(artifact_path.string());
+  if (!alternate.ok()) {
+    std::fprintf(stderr, "alternate load failed: %s\n",
+                 alternate.status().ToString().c_str());
+    return 1;
+  }
+  constexpr int kSwaps = 50;
+  std::vector<double> swap_us;
+  swap_us.reserve(kSwaps);
+  std::atomic<bool> swap_stop{false};
+  std::thread swapper([&] {
+    bool flip = false;
+    for (int i = 0; i < kSwaps; ++i) {
+      double start = runtime::MonotonicSeconds();
+      store.Publish(flip ? alternate.value() : snapshot.value());
+      swap_us.push_back((runtime::MonotonicSeconds() - start) * 1e6);
+      flip = !flip;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    swap_stop.store(true);
+  });
+  auto under_swap = RunLoad(server_options.unix_socket_path, point_batch,
+                            clients, seconds);
+  swapper.join();
+  std::sort(swap_us.begin(), swap_us.end());
+  double swap_p50 = Percentile(swap_us, 0.50);
+  double swap_p99 = Percentile(swap_us, 0.99);
+
+  server.value()->Stop();
+  auto stats = server.value()->stats();
+  std::error_code ec;
+  std::filesystem::remove(artifact_path, ec);
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"description\": \"lapis_serve daemon benchmark: cold artifact "
+        "load, warm generation swaps, and client-measured QPS/latency per "
+        "query kind over a Unix socket (in-process server, one frame per "
+        "round trip). Emitted by bench_serve_qps.\",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "  \"host\": {\n"
+                "    \"cpu_model\": \"%s\",\n"
+                "    \"logical_cpus\": %u,\n"
+                "    \"kernel\": \"%s\",\n"
+                "    \"compiler\": \"%s\",\n"
+                "    \"date\": \"%s\"\n"
+                "  },\n",
+                CpuModel().c_str(), std::thread::hardware_concurrency(),
+                KernelRelease().c_str(), __VERSION__, IsoDate().c_str());
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"config\": { \"app_packages\": %zu, \"installations\": "
+                "%" PRIu64 ", \"packages\": %zu, \"clients\": %zu, "
+                "\"server_workers\": %zu, \"seconds_per_kind\": %.0f },\n",
+                options.distro.app_package_count,
+                options.distro.installation_count,
+                study.value().dataset->package_count(), clients,
+                server.value()->workers(), seconds);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"snapshot\": { \"artifact_bytes\": %" PRIu64
+                ", \"cold_load_ms\": %.2f, \"swap_p50_us\": %.1f, "
+                "\"swap_p99_us\": %.1f, \"swaps\": %d },\n",
+                static_cast<uint64_t>(artifact_bytes), cold_load_ms,
+                swap_p50, swap_p99, kSwaps);
+  os << buf;
+  os << "  \"queries\": {\n";
+  AppendLoad(os, "point_importance", point, point_batch.size());
+  AppendLoad(os, "eval_profile", eval, eval_batch.size());
+  AppendLoad(os, "top_k", topk, topk_batch.size());
+  AppendLoad(os, "point_importance_during_swaps", under_swap,
+             point_batch.size(), /*last=*/true);
+  os << "  },\n";
+  std::snprintf(buf, sizeof buf,
+                "  \"server_stats\": { \"connections\": %" PRIu64
+                ", \"frames\": %" PRIu64 ", \"requests\": %" PRIu64
+                ", \"protocol_errors\": %" PRIu64 " },\n",
+                stats.connections_accepted, stats.frames_served,
+                stats.requests_served, stats.protocol_errors);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "  \"memory\": { \"max_rss_kib\": %" PRIu64
+                ", \"note\": \"process peak incl. study generation "
+                "(getrusage ru_maxrss)\" }\n",
+                runtime::PeakRssKib());
+  os << buf;
+  os << "}\n";
+
+  std::string path =
+      EnvStringOr("LAPIS_SERVE_BENCH_JSON", "BENCH_serve.json");
+  std::ofstream out(path, std::ios::trunc);
+  out << os.str();
+  if (!out.good()) {
+    std::fprintf(stderr, "failed writing %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[bench_serve_qps] wrote %s (cold load %.1fms, point %.0f "
+               "qps p99 %.0fus, eval %.0f qps, topk %.0f qps, %" PRIu64
+               " errors)\n",
+               path.c_str(), cold_load_ms, point.qps, point.p99_us,
+               eval.qps, topk.qps,
+               point.errors + eval.errors + topk.errors +
+                   under_swap.errors);
+  return (point.errors + eval.errors + topk.errors + under_swap.errors) == 0
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace lapis
+
+int main() { return lapis::Run(); }

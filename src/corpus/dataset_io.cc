@@ -7,7 +7,7 @@ namespace lapis::corpus {
 namespace {
 
 constexpr uint32_t kMagic = 0x4c505354;  // "LPST"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = kStudyArtifactVersion;
 
 void SerializeInterner(const core::StringInterner& interner,
                        ByteWriter& writer) {

@@ -20,6 +20,10 @@
 
 namespace lapis::corpus {
 
+// On-disk study-artifact format version (bump when SerializeStudy's layout
+// changes); tools print it so operators can tell stale artifacts apart.
+inline constexpr uint32_t kStudyArtifactVersion = 1;
+
 struct StudyArtifact {
   std::unique_ptr<core::StudyDataset> dataset;  // finalized
   core::StringInterner path_interner;

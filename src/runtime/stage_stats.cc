@@ -1,5 +1,7 @@
 #include "src/runtime/stage_stats.h"
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <ctime>
 
@@ -62,6 +64,15 @@ double ProcessCpuSeconds() {
   }
   return static_cast<double>(ts.tv_sec) +
          static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+uint64_t PeakRssKib() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0 || usage.ru_maxrss < 0) {
+    return 0;
+  }
+  // Linux reports ru_maxrss in kilobytes already.
+  return static_cast<uint64_t>(usage.ru_maxrss);
 }
 
 StageTimer::StageTimer(PipelineStats* stats, std::string stage)

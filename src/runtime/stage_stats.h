@@ -43,6 +43,11 @@ class PipelineStats {
 double MonotonicSeconds();
 double ProcessCpuSeconds();
 
+// Peak resident set size of this process in KiB (getrusage ru_maxrss), or
+// 0 if unavailable. Note: a process-lifetime high-water mark — it never
+// decreases, so per-phase deltas need a fresh process.
+uint64_t PeakRssKib();
+
 // Records the enclosing scope as one stage invocation.
 class StageTimer {
  public:

@@ -1,0 +1,97 @@
+#include "src/serve/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "src/serve/socket_io.h"
+
+namespace lapis::serve {
+
+Result<QueryClient> QueryClient::ConnectUnix(const std::string& path) {
+  LAPIS_ASSIGN_OR_RETURN(int fd, ConnectUnixSocket(path));
+  return QueryClient(fd);
+}
+
+Result<QueryClient> QueryClient::ConnectTcp(const std::string& host,
+                                            uint16_t port) {
+  LAPIS_ASSIGN_OR_RETURN(int fd, ConnectTcpSocket(host, port));
+  return QueryClient(fd);
+}
+
+QueryClient::QueryClient(QueryClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+QueryClient& QueryClient::operator=(QueryClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+QueryClient::~QueryClient() { Close(); }
+
+void QueryClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::vector<QueryResponse>> QueryClient::Call(
+    std::span<const QueryRequest> batch) {
+  if (fd_ < 0) {
+    return FailedPreconditionError("client is not connected");
+  }
+  if (!WriteFully(fd_, EncodeRequestFrame(batch))) {
+    Close();
+    return IoError("send failed (server closed the connection?)");
+  }
+  uint8_t header[kFrameHeaderSize];
+  ssize_t n = ReadFully(fd_, header, sizeof(header));
+  if (n != static_cast<ssize_t>(sizeof(header))) {
+    Close();
+    return IoError("connection closed before a response frame arrived");
+  }
+  auto payload_len = DecodeFrameHeader(header, kResponseMagic);
+  if (!payload_len.ok()) {
+    Close();
+    return payload_len.status();
+  }
+  std::vector<uint8_t> payload(payload_len.value());
+  n = ReadFully(fd_, payload.data(), payload.size());
+  if (n != static_cast<ssize_t>(payload.size())) {
+    Close();
+    return IoError("truncated response payload");
+  }
+  auto responses = DecodeResponsePayload(payload);
+  if (!responses.ok()) {
+    Close();
+    return responses.status();
+  }
+  // A frame-level rejection means the server is about to close on us;
+  // surface it as an error with the server's diagnostic.
+  if (responses.value().size() == 1 &&
+      responses.value()[0].opcode == Opcode::kFrameError) {
+    std::string error = responses.value()[0].error;
+    Close();
+    return CorruptDataError("server rejected frame: " + error);
+  }
+  if (responses.value().size() != batch.size()) {
+    Close();
+    return CorruptDataError("response count mismatch: sent " +
+                            std::to_string(batch.size()) + ", got " +
+                            std::to_string(responses.value().size()));
+  }
+  return responses;
+}
+
+Result<QueryResponse> QueryClient::CallOne(const QueryRequest& request) {
+  LAPIS_ASSIGN_OR_RETURN(
+      std::vector<QueryResponse> responses,
+      Call(std::span<const QueryRequest>(&request, 1)));
+  return std::move(responses[0]);
+}
+
+}  // namespace lapis::serve

@@ -1,0 +1,52 @@
+// Client side of the lapis_serve protocol: one blocking connection that
+// sends request batches and decodes response frames. Used by the
+// lapis_query CLI, the QPS bench, and the serve tests. Not thread-safe;
+// open one client per thread.
+
+#ifndef LAPIS_SRC_SERVE_CLIENT_H_
+#define LAPIS_SRC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/serve/protocol.h"
+#include "src/util/status.h"
+
+namespace lapis::serve {
+
+class QueryClient {
+ public:
+  static Result<QueryClient> ConnectUnix(const std::string& path);
+  static Result<QueryClient> ConnectTcp(const std::string& host,
+                                        uint16_t port);
+
+  QueryClient(QueryClient&& other) noexcept;
+  QueryClient& operator=(QueryClient&& other) noexcept;
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+  ~QueryClient();
+
+  // Sends `batch` as one frame and reads the matching response frame.
+  // A server-side frame error surfaces as a CorruptData status carrying
+  // the server's message; per-request errors come back as WireStatus in
+  // each response.
+  Result<std::vector<QueryResponse>> Call(
+      std::span<const QueryRequest> batch);
+
+  // Single-request convenience.
+  Result<QueryResponse> CallOne(const QueryRequest& request);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit QueryClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace lapis::serve
+
+#endif  // LAPIS_SRC_SERVE_CLIENT_H_

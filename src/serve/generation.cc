@@ -1,0 +1,26 @@
+#include "src/serve/generation.h"
+
+namespace lapis::serve {
+
+uint64_t GenerationStore::Publish(std::shared_ptr<const Snapshot> snapshot) {
+  auto generation = std::make_shared<Generation>();
+  generation->number = next_number_.fetch_add(1, std::memory_order_relaxed);
+  generation->snapshot = std::move(snapshot);
+  uint64_t number = generation->number;
+  std::atomic_store_explicit(
+      &current_, std::shared_ptr<const Generation>(std::move(generation)),
+      std::memory_order_release);
+  // latest_number_ trails the swap: a reader that sees the new number is
+  // guaranteed Current() returns at least that generation.
+  uint64_t seen = latest_number_.load(std::memory_order_relaxed);
+  while (seen < number && !latest_number_.compare_exchange_weak(
+                              seen, number, std::memory_order_release)) {
+  }
+  return number;
+}
+
+std::shared_ptr<const Generation> GenerationStore::Current() const {
+  return std::atomic_load_explicit(&current_, std::memory_order_acquire);
+}
+
+}  // namespace lapis::serve

@@ -1,0 +1,161 @@
+// Wire protocol for the lapis_serve footprint-database daemon.
+//
+// Transport framing is a length-prefixed binary envelope (little-endian,
+// src/util/bytes.h) carrying a *batch* of requests so one round trip can
+// ask many questions; every request in a frame is answered against the
+// same snapshot generation:
+//
+//   request frame:   u32 magic 'LQF1' | u32 payload_len | payload
+//   request payload: u32 request_count | request_count x request
+//   response frame:  u32 magic 'LQR1' | u32 payload_len | payload
+//   response payload:u32 response_count | response_count x response
+//
+// Each request starts with a u8 opcode; each response echoes the opcode
+// followed by a u8 WireStatus, so one malformed or unanswerable request in
+// a batch yields a per-request error without poisoning its neighbours.
+// Frame-level damage (bad magic, truncated or oversized length prefix,
+// undecodable payload) is unrecoverable for the connection: the server
+// answers with a single kFrameError response and closes.
+//
+// APIs travel as (kind, code, name) triples. A non-empty name takes
+// precedence and is resolved server-side (syscall names via the study's
+// syscall table, vectored opcodes as decimal/hex numerals, pseudo-file
+// paths and libc symbols via the snapshot's interners), so clients never
+// need interner id assignments.
+
+#ifndef LAPIS_SRC_SERVE_PROTOCOL_H_
+#define LAPIS_SRC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/api_id.h"
+#include "src/util/bytes.h"
+#include "src/util/status.h"
+
+namespace lapis::serve {
+
+inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr uint32_t kRequestMagic = 0x3146514c;   // "LQF1"
+inline constexpr uint32_t kResponseMagic = 0x3152514c;  // "LQR1"
+
+// Hard ceilings: a frame declaring more than kMaxFramePayload bytes is
+// rejected before any payload is read (oversized-request DoS guard), and a
+// payload declaring more entries than could possibly fit is rejected before
+// allocation.
+inline constexpr uint32_t kMaxFramePayload = 1u << 20;  // 1 MiB
+inline constexpr uint32_t kMaxBatchRequests = 4096;
+inline constexpr uint32_t kMaxProfileApis = 1u << 16;
+inline constexpr size_t kFrameHeaderSize = 8;
+
+enum class Opcode : uint8_t {
+  kPing = 0,        // liveness + current generation
+  kServerInfo = 1,  // generation, content hash, dataset shape
+  kImportance = 2,  // point lookup: importance of one API
+  kEvalProfile = 3, // weighted completeness of a supported-API profile
+  kTopK = 4,        // top-K APIs to add next (given an optional profile)
+  kFrameError = 0xff,  // response-only: the frame itself was malformed
+};
+
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kBadRequest = 1,      // undecodable / out-of-range request body
+  kUnknownApi = 2,      // a name that resolves nowhere (e.g. syscall typo)
+  kUnsupportedKind = 3, // ApiKind byte outside the known families
+  kNotReady = 4,        // no snapshot generation published yet
+  kInternal = 5,
+};
+
+const char* WireStatusName(WireStatus status);
+
+// One API reference on the wire. `name` non-empty => resolve by name.
+struct ApiRef {
+  core::ApiKind kind = core::ApiKind::kSyscall;
+  uint32_t code = 0;
+  std::string name;
+};
+
+struct QueryRequest {
+  Opcode opcode = Opcode::kPing;
+  // kImportance
+  ApiRef api;
+  // kEvalProfile: bit (1 << kind) selects evaluated kinds; 0 = all kinds.
+  uint8_t evaluated_kinds_mask = 0;
+  // kEvalProfile / kTopK: the client's supported-API profile.
+  std::vector<ApiRef> supported;
+  // kTopK
+  core::ApiKind top_kind = core::ApiKind::kSyscall;
+  uint32_t top_k = 0;
+};
+
+struct ImportanceResult {
+  core::ApiId api;
+  std::string name;          // canonical display name
+  double importance = 0.0;   // weighted (install-probability) importance
+  double unweighted = 0.0;   // fraction of packages
+  uint32_t dependents = 0;   // packages whose footprint contains the API
+};
+
+struct EvalProfileResult {
+  double weighted_completeness = 0.0;
+  uint32_t supported_packages = 0;
+  uint32_t total_packages = 0;
+  uint32_t resolved_apis = 0;  // profile entries resolved to dataset APIs
+  uint32_t absent_apis = 0;    // entries naming APIs no package uses
+};
+
+struct TopKEntry {
+  core::ApiId api;
+  std::string name;
+  double importance = 0.0;
+};
+
+struct ServerInfoResult {
+  uint32_t protocol_version = kProtocolVersion;
+  uint64_t generation = 0;
+  uint64_t content_hash = 0;  // FNV-1a of the serialized study artifact
+  uint32_t package_count = 0;
+  uint64_t total_installations = 0;
+  std::string source;  // where the snapshot came from (path or label)
+};
+
+struct QueryResponse {
+  Opcode opcode = Opcode::kPing;
+  WireStatus status = WireStatus::kOk;
+  std::string error;  // non-kOk: human-readable context
+  // Every response carries the generation it was answered against.
+  uint64_t generation = 0;
+  ImportanceResult importance;
+  EvalProfileResult eval;
+  std::vector<TopKEntry> top_k;
+  ServerInfoResult info;
+};
+
+// ---- Frame encoding ----
+
+// Serializes a whole request/response batch into one framed byte vector
+// (header + payload), ready for a single write.
+std::vector<uint8_t> EncodeRequestFrame(std::span<const QueryRequest> batch);
+std::vector<uint8_t> EncodeResponseFrame(std::span<const QueryResponse> batch);
+
+// Validates an 8-byte frame header against `expected_magic` and the payload
+// ceiling; returns the payload length to read next.
+Result<uint32_t> DecodeFrameHeader(std::span<const uint8_t> header,
+                                   uint32_t expected_magic);
+
+// Decodes a full frame payload (the bytes after the header). Trailing bytes
+// after the declared batch are corruption and rejected.
+Result<std::vector<QueryRequest>> DecodeRequestPayload(
+    std::span<const uint8_t> payload);
+Result<std::vector<QueryResponse>> DecodeResponsePayload(
+    std::span<const uint8_t> payload);
+
+// The single-response frame the server sends before closing a connection
+// whose inbound frame was unrecoverable.
+std::vector<uint8_t> EncodeFrameErrorResponse(const std::string& error);
+
+}  // namespace lapis::serve
+
+#endif  // LAPIS_SRC_SERVE_PROTOCOL_H_

@@ -1,0 +1,159 @@
+#include "src/serve/socket_io.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace lapis::serve {
+
+namespace {
+
+Status ErrnoError(const std::string& what) {
+  return IoError(what + ": " + std::strerror(errno));
+}
+
+Result<sockaddr_un> UnixAddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+Result<sockaddr_in> TcpAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+ssize_t ReadFully(int fd, uint8_t* out, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::recv(fd, out + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return -1;
+    }
+    if (n == 0) {
+      return static_cast<ssize_t>(done);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+bool WriteFully(int fd, std::span<const uint8_t> data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    ssize_t n = ::send(fd, data.data() + done, data.size() - done,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Result<int> ConnectUnixSocket(const std::string& path) {
+  LAPIS_ASSIGN_OR_RETURN(sockaddr_un addr, UnixAddr(path));
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoError("socket(AF_UNIX)");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status status = ErrnoError("connect " + path);
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> ConnectTcpSocket(const std::string& host, uint16_t port) {
+  LAPIS_ASSIGN_OR_RETURN(sockaddr_in addr, TcpAddr(host, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoError("socket(AF_INET)");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    Status status =
+        ErrnoError("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> ListenUnixSocket(const std::string& path, int backlog) {
+  LAPIS_ASSIGN_OR_RETURN(sockaddr_un addr, UnixAddr(path));
+  ::unlink(path.c_str());
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoError("socket(AF_UNIX)");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = ErrnoError("bind " + path);
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status status = ErrnoError("listen " + path);
+    ::close(fd);
+    return status;
+  }
+  return fd;
+}
+
+Result<int> ListenTcpSocket(const std::string& host, uint16_t port,
+                            int backlog, uint16_t* bound_port) {
+  LAPIS_ASSIGN_OR_RETURN(sockaddr_in addr, TcpAddr(host, port));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return ErrnoError("socket(AF_INET)");
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = ErrnoError("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status status = ErrnoError("listen");
+    ::close(fd);
+    return status;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+      *bound_port = ntohs(actual.sin_port);
+    } else {
+      *bound_port = port;
+    }
+  }
+  return fd;
+}
+
+}  // namespace lapis::serve

@@ -1,0 +1,42 @@
+// Small blocking-socket helpers shared by the serve server and client:
+// full-length reads/writes with EINTR handling and SIGPIPE suppression,
+// plus address construction for Unix / loopback-TCP endpoints.
+
+#ifndef LAPIS_SRC_SERVE_SOCKET_IO_H_
+#define LAPIS_SRC_SERVE_SOCKET_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lapis::serve {
+
+// Reads exactly `size` bytes into `out`. Returns the count actually read:
+// `size` on success, 0 on clean EOF before any byte, the partial count on
+// EOF mid-buffer, or -1 on a socket error.
+ssize_t ReadFully(int fd, uint8_t* out, size_t size);
+
+// Writes all of `data` (MSG_NOSIGNAL; a dead peer is an error, not a
+// SIGPIPE). Returns false on any error.
+bool WriteFully(int fd, std::span<const uint8_t> data);
+
+// Creates + connects a blocking client socket. Unix paths are limited by
+// sun_path (~107 bytes).
+Result<int> ConnectUnixSocket(const std::string& path);
+Result<int> ConnectTcpSocket(const std::string& host, uint16_t port);
+
+// Creates, binds, and listens. The Unix variant unlinks a pre-existing
+// socket file first (daemon restart idiom). The TCP variant binds `host`
+// (loopback by default) and returns the bound port via `bound_port` —
+// pass port 0 for an ephemeral one.
+Result<int> ListenUnixSocket(const std::string& path, int backlog);
+Result<int> ListenTcpSocket(const std::string& host, uint16_t port,
+                            int backlog, uint16_t* bound_port);
+
+}  // namespace lapis::serve
+
+#endif  // LAPIS_SRC_SERVE_SOCKET_IO_H_

@@ -49,6 +49,13 @@ TEST(Cli, HelpExitsCleanly) {
   EXPECT_NE(result.output.find("--export-dir"), std::string::npos);
 }
 
+TEST(Cli, VersionPrintsSchemaBanner) {
+  auto result = RunTool("--version");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("study artifact schema v"), std::string::npos);
+  EXPECT_NE(result.output.find("cache schema v"), std::string::npos);
+}
+
 TEST(Cli, UnknownFlagFails) {
   auto result = RunTool("--bogus=1");
   EXPECT_EQ(result.exit_code, 2);

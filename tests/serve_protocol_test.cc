@@ -1,0 +1,248 @@
+// Wire-protocol robustness: every opcode must survive an encode/decode
+// round trip bit-for-bit, and malformed frames (truncated headers, bad
+// magic, oversized declarations, garbage opcodes, trailing bytes,
+// oversized batches) must be rejected cleanly — never crash, never
+// silently mis-parse.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/serve/protocol.h"
+
+namespace lapis::serve {
+namespace {
+
+std::span<const uint8_t> Payload(const std::vector<uint8_t>& frame) {
+  return std::span<const uint8_t>(frame).subspan(kFrameHeaderSize);
+}
+
+TEST(ServeProtocol, RequestBatchRoundTrip) {
+  std::vector<QueryRequest> batch(5);
+  batch[0].opcode = Opcode::kPing;
+  batch[1].opcode = Opcode::kServerInfo;
+  batch[2].opcode = Opcode::kImportance;
+  batch[2].api.kind = core::ApiKind::kSyscall;
+  batch[2].api.name = "epoll_wait";
+  batch[3].opcode = Opcode::kEvalProfile;
+  batch[3].evaluated_kinds_mask = 0x21;
+  batch[3].supported.resize(3);
+  batch[3].supported[0] = {core::ApiKind::kSyscall, 0, "read"};
+  batch[3].supported[1] = {core::ApiKind::kIoctlOp, 0x5401, ""};
+  batch[3].supported[2] = {core::ApiKind::kPseudoFile, 0, "/proc/%/stat"};
+  batch[4].opcode = Opcode::kTopK;
+  batch[4].top_kind = core::ApiKind::kLibcFn;
+  batch[4].top_k = 25;
+  batch[4].supported.resize(1);
+  batch[4].supported[0] = {core::ApiKind::kLibcFn, 0, "memcpy"};
+
+  auto frame = EncodeRequestFrame(batch);
+  auto header = DecodeFrameHeader(
+      std::span<const uint8_t>(frame).first(kFrameHeaderSize), kRequestMagic);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header.value(), frame.size() - kFrameHeaderSize);
+
+  auto decoded = DecodeRequestPayload(Payload(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), batch.size());
+  EXPECT_EQ(decoded.value()[0].opcode, Opcode::kPing);
+  EXPECT_EQ(decoded.value()[1].opcode, Opcode::kServerInfo);
+  EXPECT_EQ(decoded.value()[2].api.name, "epoll_wait");
+  EXPECT_EQ(decoded.value()[3].evaluated_kinds_mask, 0x21);
+  ASSERT_EQ(decoded.value()[3].supported.size(), 3u);
+  EXPECT_EQ(decoded.value()[3].supported[1].kind, core::ApiKind::kIoctlOp);
+  EXPECT_EQ(decoded.value()[3].supported[1].code, 0x5401u);
+  EXPECT_EQ(decoded.value()[3].supported[2].name, "/proc/%/stat");
+  EXPECT_EQ(decoded.value()[4].top_kind, core::ApiKind::kLibcFn);
+  EXPECT_EQ(decoded.value()[4].top_k, 25u);
+}
+
+TEST(ServeProtocol, ResponseBatchRoundTrip) {
+  std::vector<QueryResponse> batch(5);
+  batch[0].opcode = Opcode::kPing;
+  batch[0].generation = 7;
+  batch[1].opcode = Opcode::kServerInfo;
+  batch[1].generation = 7;
+  batch[1].info.content_hash = 0xdeadbeefcafef00dULL;
+  batch[1].info.package_count = 905;
+  batch[1].info.total_installations = 2897;
+  batch[1].info.source = "study.bin";
+  batch[2].opcode = Opcode::kImportance;
+  batch[2].generation = 7;
+  batch[2].importance.api = core::SyscallApi(232);
+  batch[2].importance.name = "epoll_wait";
+  batch[2].importance.importance = 0.123456789012345;
+  batch[2].importance.unweighted = 0.00331491713;
+  batch[2].importance.dependents = 3;
+  batch[3].opcode = Opcode::kEvalProfile;
+  batch[3].generation = 7;
+  batch[3].eval.weighted_completeness = 0.024821212;
+  batch[3].eval.supported_packages = 80;
+  batch[3].eval.total_packages = 905;
+  batch[3].eval.resolved_apis = 5;
+  batch[3].eval.absent_apis = 1;
+  batch[4].opcode = Opcode::kTopK;
+  batch[4].generation = 7;
+  batch[4].top_k.resize(2);
+  batch[4].top_k[0] = {core::SyscallApi(2), "open", 1.0};
+  batch[4].top_k[1] = {core::SyscallApi(3), "close", 0.999999999999};
+
+  auto frame = EncodeResponseFrame(batch);
+  auto header = DecodeFrameHeader(
+      std::span<const uint8_t>(frame).first(kFrameHeaderSize),
+      kResponseMagic);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+
+  auto decoded = DecodeResponsePayload(Payload(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), batch.size());
+  for (const auto& response : decoded.value()) {
+    EXPECT_EQ(response.status, WireStatus::kOk);
+    EXPECT_EQ(response.generation, 7u);
+  }
+  EXPECT_EQ(decoded.value()[1].info.content_hash, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(decoded.value()[1].info.source, "study.bin");
+  // Doubles travel as bit patterns, so equality is exact.
+  EXPECT_EQ(decoded.value()[2].importance.importance, 0.123456789012345);
+  EXPECT_EQ(decoded.value()[2].importance.unweighted, 0.00331491713);
+  EXPECT_EQ(decoded.value()[3].eval.weighted_completeness, 0.024821212);
+  ASSERT_EQ(decoded.value()[4].top_k.size(), 2u);
+  EXPECT_EQ(decoded.value()[4].top_k[1].name, "close");
+  EXPECT_EQ(decoded.value()[4].top_k[1].importance, 0.999999999999);
+}
+
+TEST(ServeProtocol, ErrorResponseCarriesMessage) {
+  QueryResponse error;
+  error.opcode = Opcode::kImportance;
+  error.status = WireStatus::kUnknownApi;
+  error.error = "cannot resolve 'no_such_syscall'";
+  error.generation = 3;
+  auto frame = EncodeResponseFrame(std::span<const QueryResponse>(&error, 1));
+  auto decoded = DecodeResponsePayload(Payload(frame));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 1u);
+  EXPECT_EQ(decoded.value()[0].status, WireStatus::kUnknownApi);
+  EXPECT_EQ(decoded.value()[0].error, "cannot resolve 'no_such_syscall'");
+  EXPECT_EQ(decoded.value()[0].generation, 3u);
+}
+
+TEST(ServeProtocol, FrameErrorResponseDecodes) {
+  auto frame = EncodeFrameErrorResponse("bad frame magic");
+  auto header = DecodeFrameHeader(
+      std::span<const uint8_t>(frame).first(kFrameHeaderSize),
+      kResponseMagic);
+  ASSERT_TRUE(header.ok());
+  auto decoded = DecodeResponsePayload(Payload(frame));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 1u);
+  EXPECT_EQ(decoded.value()[0].opcode, Opcode::kFrameError);
+  EXPECT_NE(decoded.value()[0].status, WireStatus::kOk);
+  EXPECT_EQ(decoded.value()[0].error, "bad frame magic");
+}
+
+TEST(ServeProtocol, TruncatedHeaderRejected) {
+  auto frame = EncodeRequestFrame({});
+  for (size_t cut = 0; cut < kFrameHeaderSize; ++cut) {
+    auto result = DecodeFrameHeader(
+        std::span<const uint8_t>(frame).first(cut), kRequestMagic);
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ServeProtocol, BadMagicRejected) {
+  std::vector<QueryRequest> batch(1);
+  auto frame = EncodeRequestFrame(batch);
+  frame[0] ^= 0xff;
+  auto result = DecodeFrameHeader(
+      std::span<const uint8_t>(frame).first(kFrameHeaderSize), kRequestMagic);
+  EXPECT_FALSE(result.ok());
+  // A request frame is not a response frame either.
+  frame[0] ^= 0xff;
+  EXPECT_FALSE(DecodeFrameHeader(
+                   std::span<const uint8_t>(frame).first(kFrameHeaderSize),
+                   kResponseMagic)
+                   .ok());
+}
+
+TEST(ServeProtocol, OversizedDeclaredPayloadRejected) {
+  uint8_t header[kFrameHeaderSize];
+  uint32_t magic = kRequestMagic;
+  uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &huge, 4);
+  auto result = DecodeFrameHeader(header, kRequestMagic);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("oversized"), std::string::npos);
+}
+
+TEST(ServeProtocol, UndersizedDeclaredPayloadRejected) {
+  uint8_t header[kFrameHeaderSize];
+  uint32_t magic = kRequestMagic;
+  uint32_t tiny = 3;  // cannot even hold the u32 batch count
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &tiny, 4);
+  EXPECT_FALSE(DecodeFrameHeader(header, kRequestMagic).ok());
+}
+
+TEST(ServeProtocol, GarbageOpcodeRejected) {
+  std::vector<uint8_t> payload = {1, 0, 0, 0, 0x7e};  // count=1, opcode=126
+  EXPECT_FALSE(DecodeRequestPayload(payload).ok());
+}
+
+TEST(ServeProtocol, FrameErrorOpcodeInvalidAsRequest) {
+  std::vector<uint8_t> payload = {1, 0, 0, 0, 0xff};
+  EXPECT_FALSE(DecodeRequestPayload(payload).ok());
+}
+
+TEST(ServeProtocol, TruncatedPayloadRejected) {
+  std::vector<QueryRequest> batch(1);
+  batch[0].opcode = Opcode::kImportance;
+  batch[0].api.name = "epoll_wait";
+  auto frame = EncodeRequestFrame(batch);
+  auto payload = Payload(frame);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeRequestPayload(payload.first(cut)).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(ServeProtocol, TrailingBytesRejected) {
+  std::vector<QueryRequest> batch(2);
+  auto frame = EncodeRequestFrame(batch);
+  std::vector<uint8_t> padded(frame.begin() + kFrameHeaderSize, frame.end());
+  padded.push_back(0x00);
+  EXPECT_FALSE(DecodeRequestPayload(padded).ok());
+}
+
+TEST(ServeProtocol, OversizedBatchCountRejected) {
+  uint32_t count = kMaxBatchRequests + 1;
+  std::vector<uint8_t> payload(4);
+  std::memcpy(payload.data(), &count, 4);
+  EXPECT_FALSE(DecodeRequestPayload(payload).ok());
+  EXPECT_FALSE(DecodeResponsePayload(payload).ok());
+}
+
+TEST(ServeProtocol, BatchCountLargerThanBytesRejected) {
+  // Declares 100 requests but carries none: must fail on the first missing
+  // opcode byte, not crash or over-allocate.
+  uint32_t count = 100;
+  std::vector<uint8_t> payload(4);
+  std::memcpy(payload.data(), &count, 4);
+  EXPECT_FALSE(DecodeRequestPayload(payload).ok());
+}
+
+TEST(ServeProtocol, EmptyBatchIsValid) {
+  auto frame = EncodeRequestFrame({});
+  auto decoded = DecodeRequestPayload(Payload(frame));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(ServeProtocol, WireStatusNamesAreStable) {
+  EXPECT_STREQ(WireStatusName(WireStatus::kOk), "OK");
+  EXPECT_STREQ(WireStatusName(WireStatus::kUnknownApi), "UNKNOWN_API");
+  EXPECT_STREQ(WireStatusName(WireStatus::kNotReady), "NOT_READY");
+}
+
+}  // namespace
+}  // namespace lapis::serve

@@ -1,0 +1,474 @@
+// lapis_serve end-to-end: snapshot answers must be byte-identical to
+// direct dataset queries (the daemon adds transport, not arithmetic),
+// generation swaps must never tear or block readers (run under TSan via
+// the `tsan` label), and malformed frames must be rejected without
+// disturbing other connections.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "src/core/completeness.h"
+#include "src/corpus/dataset_io.h"
+#include "src/corpus/study_runner.h"
+#include "src/corpus/syscall_table.h"
+#include "src/corpus/system_profiles.h"
+#include "src/serve/client.h"
+#include "src/serve/generation.h"
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "src/serve/snapshot.h"
+#include "src/serve/socket_io.h"
+
+namespace lapis::serve {
+namespace {
+
+const corpus::StudyResult& Study() {
+  static const corpus::StudyResult* study = [] {
+    auto result = corpus::RunStudy(corpus::SmallStudyOptions());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return new corpus::StudyResult(result.take());
+  }();
+  return *study;
+}
+
+std::shared_ptr<const Snapshot> SharedSnapshot() {
+  static const auto* snapshot = [] {
+    auto result = Snapshot::FromStudy(Study(), "test-study");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return new std::shared_ptr<const Snapshot>(result.take());
+  }();
+  return *snapshot;
+}
+
+std::string TestSocketPath(const char* name) {
+  return testing::TempDir() + "/lapis_serve_" + name + ".sock";
+}
+
+QueryRequest ImportanceRequest(const std::string& name) {
+  QueryRequest request;
+  request.opcode = Opcode::kImportance;
+  request.api.kind = core::ApiKind::kSyscall;
+  request.api.name = name;
+  return request;
+}
+
+// ---- Snapshot vs direct dataset computation (byte-stable results) ----
+
+TEST(ServeSnapshot, ImportanceMatchesDatasetExactly) {
+  auto snapshot = SharedSnapshot();
+  const auto& dataset = *Study().dataset;
+  for (int nr : {0, 1, 2, 9, 16, 157, 232, 317}) {
+    auto api = core::SyscallApi(static_cast<uint32_t>(nr));
+    auto response = snapshot->Execute(
+        ImportanceRequest(std::string(corpus::SyscallName(nr))));
+    ASSERT_EQ(response.status, WireStatus::kOk) << nr;
+    // Exact equality: the snapshot reads the same dataset, so the daemon
+    // must return bit-identical doubles to the TSV pipeline.
+    EXPECT_EQ(response.importance.importance, dataset.ApiImportance(api));
+    EXPECT_EQ(response.importance.unweighted,
+              dataset.UnweightedImportance(api));
+    EXPECT_EQ(response.importance.dependents, dataset.Dependents(api).size());
+    EXPECT_EQ(response.importance.name, corpus::SyscallName(nr));
+  }
+}
+
+TEST(ServeSnapshot, UnknownSyscallNameIsError) {
+  auto response =
+      SharedSnapshot()->Execute(ImportanceRequest("no_such_syscall"));
+  EXPECT_EQ(response.status, WireStatus::kUnknownApi);
+  EXPECT_FALSE(response.error.empty());
+}
+
+TEST(ServeSnapshot, AbsentPseudoFileHasZeroImportance) {
+  QueryRequest request;
+  request.opcode = Opcode::kImportance;
+  request.api.kind = core::ApiKind::kPseudoFile;
+  request.api.name = "/proc/definitely/not/a/real/path";
+  auto response = SharedSnapshot()->Execute(request);
+  EXPECT_EQ(response.status, WireStatus::kOk);
+  EXPECT_EQ(response.importance.importance, 0.0);
+  EXPECT_EQ(response.importance.dependents, 0u);
+}
+
+TEST(ServeSnapshot, EvalProfileMatchesWeightedCompleteness) {
+  auto snapshot = SharedSnapshot();
+  const auto& dataset = *Study().dataset;
+  auto ranked = dataset.RankByImportance(core::ApiKind::kSyscall,
+                                         corpus::FullSyscallUniverse());
+  ASSERT_GE(ranked.size(), 150u);
+
+  QueryRequest request;
+  request.opcode = Opcode::kEvalProfile;
+  request.evaluated_kinds_mask =
+      1u << static_cast<uint8_t>(core::ApiKind::kSyscall);
+  std::set<core::ApiId> supported;
+  for (size_t i = 0; i < 150; ++i) {
+    supported.insert(ranked[i]);
+    ApiRef ref;
+    ref.kind = core::ApiKind::kSyscall;
+    ref.name = std::string(
+        corpus::SyscallName(static_cast<int>(ranked[i].code)));
+    request.supported.push_back(std::move(ref));
+  }
+  auto response = snapshot->Execute(request);
+  ASSERT_EQ(response.status, WireStatus::kOk);
+
+  core::CompletenessOptions options;
+  options.evaluated_kinds = {core::ApiKind::kSyscall};
+  EXPECT_EQ(response.eval.weighted_completeness,
+            core::WeightedCompleteness(dataset, supported, options));
+  auto flags = core::SupportedPackages(dataset, supported, options);
+  uint32_t expected_supported = 0;
+  for (bool ok : flags) {
+    expected_supported += ok ? 1 : 0;
+  }
+  EXPECT_EQ(response.eval.supported_packages, expected_supported);
+  EXPECT_EQ(response.eval.total_packages, dataset.package_count());
+  EXPECT_EQ(response.eval.resolved_apis, 150u);
+  EXPECT_EQ(response.eval.absent_apis, 0u);
+}
+
+TEST(ServeSnapshot, TopKMatchesSuggestNextApis) {
+  auto snapshot = SharedSnapshot();
+  const auto& dataset = *Study().dataset;
+  auto ranked = dataset.RankByImportance(core::ApiKind::kSyscall,
+                                         corpus::FullSyscallUniverse());
+  std::set<core::ApiId> supported(ranked.begin(), ranked.begin() + 30);
+
+  QueryRequest request;
+  request.opcode = Opcode::kTopK;
+  request.top_kind = core::ApiKind::kSyscall;
+  request.top_k = 10;
+  for (const auto& api : supported) {
+    ApiRef ref;
+    ref.kind = core::ApiKind::kSyscall;
+    ref.name =
+        std::string(corpus::SyscallName(static_cast<int>(api.code)));
+    request.supported.push_back(std::move(ref));
+  }
+  auto response = snapshot->Execute(request);
+  ASSERT_EQ(response.status, WireStatus::kOk);
+  ASSERT_EQ(response.top_k.size(), 10u);
+
+  auto expected = core::SuggestNextApis(dataset, supported,
+                                        core::ApiKind::kSyscall, 10);
+  ASSERT_EQ(expected.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(response.top_k[i].api.code, expected[i].code) << i;
+    EXPECT_EQ(response.top_k[i].importance,
+              dataset.ApiImportance(expected[i]))
+        << i;
+  }
+}
+
+TEST(ServeSnapshot, TopKZeroCountIsBadRequest) {
+  QueryRequest request;
+  request.opcode = Opcode::kTopK;
+  request.top_k = 0;
+  EXPECT_EQ(SharedSnapshot()->Execute(request).status,
+            WireStatus::kBadRequest);
+}
+
+TEST(ServeSnapshot, SameArtifactSameContentHash) {
+  auto again = Snapshot::FromStudy(Study(), "other-label");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value()->content_hash(), SharedSnapshot()->content_hash());
+}
+
+// ---- GenerationStore ----
+
+TEST(ServeGeneration, EmptyStoreHasNoCurrent) {
+  GenerationStore store;
+  EXPECT_EQ(store.Current(), nullptr);
+  EXPECT_EQ(store.latest(), 0u);
+}
+
+TEST(ServeGeneration, PublishAssignsMonotonicNumbers) {
+  GenerationStore store;
+  auto snapshot = SharedSnapshot();
+  EXPECT_EQ(store.Publish(snapshot), 1u);
+  EXPECT_EQ(store.Publish(snapshot), 2u);
+  EXPECT_EQ(store.Publish(snapshot), 3u);
+  auto current = store.Current();
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->number, 3u);
+  EXPECT_EQ(store.latest(), 3u);
+}
+
+TEST(ServeGeneration, OldGenerationSurvivesReplacement) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  auto pinned = store.Current();
+  auto replacement = Snapshot::FromStudy(Study(), "gen2");
+  ASSERT_TRUE(replacement.ok());
+  store.Publish(replacement.take());
+  // The pinned generation still answers from its own snapshot.
+  EXPECT_EQ(pinned->number, 1u);
+  EXPECT_EQ(pinned->snapshot->source(), "test-study");
+  EXPECT_EQ(store.Current()->number, 2u);
+}
+
+// ---- Server end-to-end over a Unix socket ----
+
+TEST(ServeServer, AnswersBatchOverUnixSocket) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("e2e");
+  options.workers = 2;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto client = QueryClient::ConnectUnix(options.unix_socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  std::vector<QueryRequest> batch;
+  QueryRequest ping;
+  batch.push_back(ping);
+  QueryRequest info;
+  info.opcode = Opcode::kServerInfo;
+  batch.push_back(info);
+  batch.push_back(ImportanceRequest("read"));
+  auto responses = client.value().Call(batch);
+  ASSERT_TRUE(responses.ok()) << responses.status().ToString();
+  ASSERT_EQ(responses.value().size(), 3u);
+  for (const auto& response : responses.value()) {
+    EXPECT_EQ(response.status, WireStatus::kOk);
+    EXPECT_EQ(response.generation, 1u);
+  }
+  EXPECT_EQ(responses.value()[1].info.content_hash,
+            SharedSnapshot()->content_hash());
+  // The socket round trip preserves the exact doubles.
+  EXPECT_EQ(responses.value()[2].importance.importance,
+            Study().dataset->ApiImportance(core::SyscallApi(0)));
+
+  // A second frame on the same connection works (persistent connections).
+  auto again = client.value().CallOne(ImportanceRequest("write"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().importance.importance,
+            Study().dataset->ApiImportance(core::SyscallApi(1)));
+
+  server.value()->Stop();
+  auto stats = server.value()->stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.frames_served, 2u);
+  EXPECT_EQ(stats.requests_served, 4u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(ServeServer, NotReadyBeforeFirstPublish) {
+  GenerationStore store;  // nothing published
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("notready");
+  options.workers = 1;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok());
+  auto client = QueryClient::ConnectUnix(options.unix_socket_path);
+  ASSERT_TRUE(client.ok());
+  auto response = client.value().CallOne(ImportanceRequest("read"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, WireStatus::kNotReady);
+  server.value()->Stop();
+}
+
+TEST(ServeServer, MalformedMagicGetsFrameErrorAndClose) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("badmagic");
+  options.workers = 1;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok());
+
+  auto fd = ConnectUnixSocket(options.unix_socket_path);
+  ASSERT_TRUE(fd.ok());
+  uint8_t garbage[16];
+  std::memset(garbage, 0xa5, sizeof garbage);
+  ASSERT_TRUE(WriteFully(fd.value(), garbage));
+
+  uint8_t header[kFrameHeaderSize];
+  ASSERT_EQ(ReadFully(fd.value(), header, sizeof header),
+            static_cast<ssize_t>(sizeof header));
+  auto payload_len = DecodeFrameHeader(header, kResponseMagic);
+  ASSERT_TRUE(payload_len.ok()) << payload_len.status().ToString();
+  std::vector<uint8_t> payload(payload_len.value());
+  ASSERT_EQ(ReadFully(fd.value(), payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  auto decoded = DecodeResponsePayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 1u);
+  EXPECT_EQ(decoded.value()[0].opcode, Opcode::kFrameError);
+  EXPECT_NE(decoded.value()[0].status, WireStatus::kOk);
+
+  // The server closes the connection after a frame error (clean EOF, or
+  // ECONNRESET when our unread trailing garbage triggers a reset).
+  uint8_t extra;
+  EXPECT_LE(ReadFully(fd.value(), &extra, 1), 0);
+  ::close(fd.value());
+
+  server.value()->Stop();
+  EXPECT_GE(server.value()->stats().protocol_errors, 1u);
+}
+
+TEST(ServeServer, TruncatedHeaderCountsAsProtocolError) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("trunc");
+  options.workers = 1;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok());
+
+  auto fd = ConnectUnixSocket(options.unix_socket_path);
+  ASSERT_TRUE(fd.ok());
+  uint8_t partial[3] = {0x4c, 0x51, 0x46};
+  ASSERT_TRUE(WriteFully(fd.value(), partial));
+  ::shutdown(fd.value(), SHUT_WR);
+  // Drain whatever the server sends (nothing or an error frame), then EOF.
+  uint8_t sink[256];
+  while (ReadFully(fd.value(), sink, sizeof sink) > 0) {
+  }
+  ::close(fd.value());
+
+  server.value()->Stop();
+  EXPECT_GE(server.value()->stats().protocol_errors, 1u);
+}
+
+TEST(ServeServer, OversizedDeclaredPayloadRejected) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("oversize");
+  options.workers = 1;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok());
+
+  auto fd = ConnectUnixSocket(options.unix_socket_path);
+  ASSERT_TRUE(fd.ok());
+  uint8_t header[kFrameHeaderSize];
+  uint32_t magic = kRequestMagic;
+  uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &huge, 4);
+  ASSERT_TRUE(WriteFully(fd.value(), header));
+
+  uint8_t response_header[kFrameHeaderSize];
+  ASSERT_EQ(ReadFully(fd.value(), response_header, sizeof response_header),
+            static_cast<ssize_t>(sizeof response_header));
+  auto payload_len = DecodeFrameHeader(response_header, kResponseMagic);
+  ASSERT_TRUE(payload_len.ok());
+  std::vector<uint8_t> payload(payload_len.value());
+  ASSERT_EQ(ReadFully(fd.value(), payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  auto decoded = DecodeResponsePayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value()[0].opcode, Opcode::kFrameError);
+  ::close(fd.value());
+  server.value()->Stop();
+  EXPECT_GE(server.value()->stats().protocol_errors, 1u);
+}
+
+TEST(ServeServer, TcpTransportWorks) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  ServerOptions options;  // no unix path => loopback TCP, ephemeral port
+  options.workers = 1;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  ASSERT_NE(server.value()->tcp_port(), 0);
+  auto client =
+      QueryClient::ConnectTcp("127.0.0.1", server.value()->tcp_port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto response = client.value().CallOne(ImportanceRequest("mmap"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().status, WireStatus::kOk);
+  server.value()->Stop();
+}
+
+// ---- Concurrent clients hammering a generation swap (TSan target) ----
+
+TEST(ServeServer, ConcurrentClientsSurviveGenerationSwaps) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  auto alternate = Snapshot::FromStudy(Study(), "alternate");
+  ASSERT_TRUE(alternate.ok());
+  auto alternate_snapshot = alternate.take();
+
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("swap");
+  options.workers = 4;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok());
+
+  constexpr int kClientThreads = 4;
+  constexpr int kFramesPerClient = 60;
+  constexpr int kPublishes = 50;
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> max_seen_generation{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      auto client = QueryClient::ConnectUnix(options.unix_socket_path);
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::vector<QueryRequest> batch;
+      batch.push_back(ImportanceRequest("read"));
+      batch.push_back(ImportanceRequest(t % 2 == 0 ? "mmap" : "close"));
+      QueryRequest top;
+      top.opcode = Opcode::kTopK;
+      top.top_k = 3;
+      batch.push_back(top);
+      for (int i = 0; i < kFramesPerClient; ++i) {
+        auto responses = client.value().Call(batch);
+        if (!responses.ok() || responses.value().size() != batch.size()) {
+          failures.fetch_add(1);
+          return;
+        }
+        uint64_t generation = responses.value()[0].generation;
+        for (const auto& response : responses.value()) {
+          // Every request in a frame is answered on ONE pinned
+          // generation — a mismatch means a torn swap.
+          if (response.status != WireStatus::kOk ||
+              response.generation != generation) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+        uint64_t seen = max_seen_generation.load();
+        while (generation > seen &&
+               !max_seen_generation.compare_exchange_weak(seen, generation)) {
+        }
+      }
+    });
+  }
+
+  for (int i = 0; i < kPublishes; ++i) {
+    store.Publish(i % 2 == 0 ? alternate_snapshot : SharedSnapshot());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& thread : clients) {
+    thread.join();
+  }
+  server.value()->Stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(store.latest(), 1u + kPublishes);
+  EXPECT_GT(max_seen_generation.load(), 1u);
+  auto stats = server.value()->stats();
+  EXPECT_EQ(stats.frames_served,
+            static_cast<uint64_t>(kClientThreads) * kFramesPerClient);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+}  // namespace
+}  // namespace lapis::serve

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "src/cache/content_hash.h"
 #include "src/core/completeness.h"
 #include "src/core/report.h"
 #include "src/corpus/dataset_io.h"
@@ -109,6 +110,9 @@ int main(int argc, char** argv) {
                   "content-addressed incremental cache directory (default: "
                   "$LAPIS_CACHE_DIR; empty = no cache); warm runs skip the "
                   "per-binary analysis pipeline with identical output");
+  flags.AddBool("version", false,
+                "print the study-artifact and cache schema versions and "
+                "exit");
   auto status = flags.Parse(argc - 1, argv + 1);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -117,6 +121,13 @@ int main(int argc, char** argv) {
   }
   if (flags.help_requested()) {
     std::fputs(flags.Usage().c_str(), stdout);
+    return 0;
+  }
+  if (flags.GetBool("version")) {
+    // Operators diff these against a daemon's banner to spot stale
+    // artifacts or caches before they bite.
+    std::printf("lapis_study study artifact schema v%u, cache schema v%u\n",
+                corpus::kStudyArtifactVersion, cache::kCacheSchemaVersion);
     return 0;
   }
 
@@ -205,9 +216,10 @@ int main(int argc, char** argv) {
     if (study.value().cache_enabled) {
       const auto& cs = study.value().cache_stats;
       std::printf(
-          "cache: %llu hits / %llu lookups (%.1f%%), %zu/%zu analyses "
-          "restored, %llu KiB read, %llu KiB written, %llu corrupt "
-          "entries dropped\n",
+          "cache (schema v%u): %llu hits / %llu lookups (%.1f%%), %zu/%zu "
+          "analyses restored, %llu KiB read, %llu KiB written, %llu "
+          "corrupt entries dropped\n",
+          cache::kCacheSchemaVersion,
           static_cast<unsigned long long>(cs.hits),
           static_cast<unsigned long long>(cs.Lookups()),
           100.0 * cs.HitRate(), study.value().analyses_from_cache,
