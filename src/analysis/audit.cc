@@ -66,6 +66,7 @@ std::string AuditFinding::Describe() const {
 
 void AuditReport::Fold(BinaryAuditResult result) {
   ++executables_audited;
+  observed_union.MergeFrom(result.observed);
   soundness_violations += result.violations.size();
   masked_by_unknown_sites += result.masked_by_unknown_sites;
   static_only_apis += result.static_only_apis;
@@ -134,6 +135,7 @@ Result<BinaryAuditResult> FootprintAuditor::AuditExecutable(
 
   BinaryAuditResult out;
   out.name = name;
+  out.observed = observed;
   out.instructions_executed = trace.instructions_executed;
   out.hit_step_limit = trace.hit_step_limit;
   out.stubbed_imports = trace.stubbed_imports;

@@ -32,6 +32,7 @@
 
 #include "src/analysis/binary_analyzer.h"
 #include "src/analysis/dynamic_trace.h"
+#include "src/analysis/footprint.h"
 #include "src/analysis/library_resolver.h"
 #include "src/util/status.h"
 
@@ -58,6 +59,10 @@ struct AuditFinding {
 // Differential result for one executable.
 struct BinaryAuditResult {
   std::string name;
+  // Everything the dynamic replay actually touched (the trace's footprint).
+  // Downstream planning separates these "must-implement" APIs from
+  // claimed-but-never-observed "stub-safe" ones.
+  Footprint observed;
   std::vector<AuditFinding> violations;
   size_t masked_by_unknown_sites = 0;  // observed, absent, but excused
   size_t static_only_apis = 0;         // over-approximation margin
@@ -79,6 +84,9 @@ struct AuditReport {
   size_t static_only_apis = 0;
   size_t observed_apis = 0;
   size_t traces_hit_step_limit = 0;
+  // Union of every audited executable's observed footprint — the corpus-wide
+  // dynamic-replay evidence the support planner consumes.
+  Footprint observed_union;
   // Per-binary diagnostics for every binary with at least one violation.
   std::vector<BinaryAuditResult> flagged;
 

@@ -57,6 +57,12 @@ Status SerializeStudy(const StudyResult& study, ByteWriter& writer) {
   }
   SerializeInterner(study.path_interner, writer);
   SerializeInterner(study.libc_interner, writer);
+  // v2: audit-evidence section.
+  writer.PutU8(study.evidence_kinds_mask);
+  writer.PutU32(static_cast<uint32_t>(study.evidence_observed.size()));
+  for (const core::ApiId& api : study.evidence_observed) {
+    writer.PutI64(api.Encode());
+  }
   return Status::Ok();
 }
 
@@ -66,7 +72,7 @@ Result<StudyArtifact> DeserializeStudy(ByteReader& reader) {
     return CorruptDataError("bad study artifact magic");
   }
   LAPIS_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     return UnimplementedError("unsupported artifact version " +
                               std::to_string(version));
   }
@@ -105,6 +111,14 @@ Result<StudyArtifact> DeserializeStudy(ByteReader& reader) {
                          DeserializeInterner(reader));
   LAPIS_ASSIGN_OR_RETURN(artifact.libc_interner,
                          DeserializeInterner(reader));
+  if (version >= 2) {
+    LAPIS_ASSIGN_OR_RETURN(artifact.evidence_kinds_mask, reader.ReadU8());
+    LAPIS_ASSIGN_OR_RETURN(uint32_t observed_count, reader.ReadU32());
+    for (uint32_t i = 0; i < observed_count; ++i) {
+      LAPIS_ASSIGN_OR_RETURN(int64_t encoded, reader.ReadI64());
+      artifact.evidence_observed.insert(core::ApiId::Decode(encoded));
+    }
+  }
   LAPIS_RETURN_IF_ERROR(artifact.dataset->Finalize());
   return artifact;
 }

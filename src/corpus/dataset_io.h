@@ -22,12 +22,19 @@ namespace lapis::corpus {
 
 // On-disk study-artifact format version (bump when SerializeStudy's layout
 // changes); tools print it so operators can tell stale artifacts apart.
-inline constexpr uint32_t kStudyArtifactVersion = 1;
+// v2 appends the audit-evidence section (kinds mask + observed ApiIds);
+// v1 artifacts still load, with empty evidence.
+inline constexpr uint32_t kStudyArtifactVersion = 2;
 
 struct StudyArtifact {
   std::unique_ptr<core::StudyDataset> dataset;  // finalized
   core::StringInterner path_interner;
   core::StringInterner libc_interner;
+
+  // Dynamic-replay audit evidence (StudyResult::evidence_*). Zero mask =
+  // the study ran without --audit (or the artifact predates v2).
+  uint8_t evidence_kinds_mask = 0;
+  std::set<core::ApiId> evidence_observed;
 };
 
 // Serializes the dataset portion of a study (footprints, survey counts,

@@ -706,6 +706,41 @@ Result<StudyResult> RunStudy(const StudyOptions& options) {
     timer.AddItems(package_count);
   }
 
+  // ---- Audit evidence ----
+  // Lift the audit's merged observed footprint to ApiIds now that the path
+  // interner is final. Paths the replay touched but no static footprint
+  // claims (impossible while the auditor is sound) have no interned id and
+  // are dropped — they cannot appear in any package's footprint anyway.
+  if (result.audit.has_value()) {
+    const analysis::Footprint& seen = result.audit->observed_union;
+    result.evidence_kinds_mask = static_cast<uint8_t>(
+        (1u << static_cast<uint8_t>(core::ApiKind::kSyscall)) |
+        (1u << static_cast<uint8_t>(core::ApiKind::kIoctlOp)) |
+        (1u << static_cast<uint8_t>(core::ApiKind::kFcntlOp)) |
+        (1u << static_cast<uint8_t>(core::ApiKind::kPrctlOp)) |
+        (1u << static_cast<uint8_t>(core::ApiKind::kPseudoFile)));
+    for (int nr : seen.syscalls) {
+      result.evidence_observed.insert(
+          core::SyscallApi(static_cast<uint32_t>(nr)));
+    }
+    for (uint32_t op : seen.ioctl_ops) {
+      result.evidence_observed.insert(core::IoctlApi(op));
+    }
+    for (uint32_t op : seen.fcntl_ops) {
+      result.evidence_observed.insert(core::FcntlApi(op));
+    }
+    for (uint32_t op : seen.prctl_ops) {
+      result.evidence_observed.insert(core::PrctlApi(op));
+    }
+    for (const std::string& path : seen.pseudo_paths) {
+      uint32_t id = result.path_interner.Find(path);
+      if (id != UINT32_MAX) {
+        result.evidence_observed.insert(
+            core::ApiId{core::ApiKind::kPseudoFile, id});
+      }
+    }
+  }
+
   result.executor_stats = executor->stats();
   if (ctx) {
     result.cache_stats = ctx.cache->stats() - cache_start;

@@ -115,6 +115,13 @@ struct StudyResult {
   // Footprint soundness audit (present iff StudyOptions::audit was set).
   std::optional<analysis::AuditReport> audit;
 
+  // Corpus-wide dynamic-replay evidence, the audit's observed_union lifted
+  // to ApiIds (pseudo paths resolved through path_interner). Empty mask =
+  // no audit ran; bit (1 << kind) marks each instrumented ApiKind, so the
+  // planner can tell "not observed" from "not instrumented".
+  uint8_t evidence_kinds_mask = 0;
+  std::set<core::ApiId> evidence_observed;
+
   // Per-package binary counts with hard-coded pseudo paths (Fig 6 counts).
   std::map<std::string, size_t> pseudo_path_binary_counts;
 

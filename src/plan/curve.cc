@@ -1,0 +1,57 @@
+#include "src/plan/curve.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/core/completeness.h"
+
+namespace lapis::plan {
+
+std::vector<CurvePoint> PartialSupportCurve(
+    const core::StudyDataset& dataset, core::ApiKind kind,
+    const std::vector<size_t>& checkpoints,
+    const std::vector<core::ApiId>& universe) {
+  // RankByImportance collapses duplicate universe entries into one ranked
+  // slot, so a checkpoint K always means K *distinct* APIs.
+  std::vector<core::ApiId> ranked = dataset.RankByImportance(kind, universe);
+
+  core::CompletenessOptions options;
+  options.evaluated_kinds = {kind};
+
+  // Evaluate each distinct prefix size once; checkpoints then look up their
+  // clamped prefix. (Completeness evaluation dominates, so computing only
+  // the needed prefixes matters at 600+ opcode universes.)
+  std::set<size_t> prefix_sizes;
+  for (size_t k : checkpoints) {
+    prefix_sizes.insert(std::min(k, ranked.size()));
+  }
+
+  std::map<size_t, double> completeness_at;
+  std::set<core::ApiId> supported;
+  size_t cursor = 0;
+  for (size_t prefix : prefix_sizes) {
+    while (cursor < prefix) {
+      supported.insert(ranked[cursor++]);
+    }
+    completeness_at[prefix] =
+        core::WeightedCompleteness(dataset, supported, options);
+  }
+
+  std::vector<CurvePoint> curve;
+  curve.reserve(checkpoints.size());
+  for (size_t k : checkpoints) {
+    CurvePoint point;
+    point.supported_count = std::min(k, ranked.size());
+    point.weighted_completeness = completeness_at[point.supported_count];
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+const std::vector<size_t>& IoctlCurveCheckpoints() {
+  static const std::vector<size_t> kCheckpoints = {
+      0, 1, 2, 5, 10, 20, 40, 47, 51, 52, 60, 100, 188, 280, 635};
+  return kCheckpoints;
+}
+
+}  // namespace lapis::plan

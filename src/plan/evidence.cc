@@ -1,0 +1,48 @@
+#include "src/plan/evidence.h"
+
+namespace lapis::plan {
+
+namespace {
+
+bool IsVectoredKind(core::ApiKind kind) {
+  return kind == core::ApiKind::kIoctlOp || kind == core::ApiKind::kFcntlOp ||
+         kind == core::ApiKind::kPrctlOp;
+}
+
+}  // namespace
+
+const char* EvidenceClassName(EvidenceClass cls) {
+  switch (cls) {
+    case EvidenceClass::kNoEvidence:
+      return "no-evidence";
+    case EvidenceClass::kStubSafe:
+      return "stub-safe";
+    case EvidenceClass::kMustImplement:
+      return "must-implement";
+  }
+  return "?";
+}
+
+EvidenceClass ClassifyApi(const AuditEvidence& evidence, core::ApiId api) {
+  if (!evidence.CoversKind(api.kind)) {
+    return EvidenceClass::kNoEvidence;
+  }
+  if (evidence.observed.count(api) != 0) {
+    return EvidenceClass::kMustImplement;
+  }
+  return EvidenceClass::kStubSafe;
+}
+
+SupportAction MinimalSufficientAction(EvidenceClass cls, core::ApiKind kind) {
+  switch (cls) {
+    case EvidenceClass::kMustImplement:
+      return IsVectoredKind(kind) ? SupportAction::kFake : SupportAction::kFull;
+    case EvidenceClass::kStubSafe:
+      return SupportAction::kStub;
+    case EvidenceClass::kNoEvidence:
+      return SupportAction::kFull;
+  }
+  return SupportAction::kFull;
+}
+
+}  // namespace lapis::plan

@@ -1,0 +1,58 @@
+// Folding the differential auditor's dynamic-replay observations into the
+// planner (Loupe's key insight: a *claimed* API that no execution ever
+// touches does not need a real implementation — a -ENOSYS stub suffices).
+//
+// Evidence classes per API:
+//   kMustImplement — observed during dynamic replay; a stub would be hit.
+//   kStubSafe      — claimed by some footprint but never observed.
+//   kNoEvidence    — the auditor produced no coverage for this API's kind
+//                    (or no audit ran at all); assume the worst.
+
+#ifndef LAPIS_SRC_PLAN_EVIDENCE_H_
+#define LAPIS_SRC_PLAN_EVIDENCE_H_
+
+#include <cstdint>
+#include <set>
+
+#include "src/core/api_id.h"
+#include "src/plan/cost_model.h"
+
+namespace lapis::plan {
+
+// Corpus-wide dynamic-replay observations, merged across every audited
+// executable. `kinds_mask` has bit (1 << kind) set for each ApiKind the
+// replay instrumented — absence of an observation only means something for
+// covered kinds.
+struct AuditEvidence {
+  uint8_t kinds_mask = 0;
+  std::set<core::ApiId> observed;
+
+  bool CoversKind(core::ApiKind kind) const {
+    return (kinds_mask & (1u << static_cast<uint8_t>(kind))) != 0;
+  }
+  bool empty() const { return kinds_mask == 0; }
+};
+
+enum class EvidenceClass : uint8_t {
+  kNoEvidence = 0,
+  kStubSafe = 1,
+  kMustImplement = 2,
+};
+
+const char* EvidenceClassName(EvidenceClass cls);
+
+EvidenceClass ClassifyApi(const AuditEvidence& evidence, core::ApiId api);
+
+// The cheapest action that still satisfies every package needing `api`,
+// given its evidence class:
+//   must-implement + vectored sub-op  -> kFake (plausible success per op)
+//   must-implement + anything else    -> kFull
+//   stub-safe                         -> kStub
+//   no evidence                       -> kFull (cannot risk a stub)
+// Audit-blind planning passes an empty AuditEvidence and lands on kFull
+// everywhere, so evidence never makes a plan more expensive.
+SupportAction MinimalSufficientAction(EvidenceClass cls, core::ApiKind kind);
+
+}  // namespace lapis::plan
+
+#endif  // LAPIS_SRC_PLAN_EVIDENCE_H_

@@ -1,0 +1,74 @@
+#include "src/plan/profiles.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/corpus/system_profiles.h"
+
+namespace lapis::plan {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> KnownProfileNames() {
+  std::vector<std::string> names = {"none", "all"};
+  for (const auto& row : corpus::LinuxSystemPlans()) {
+    names.push_back(row.name);
+  }
+  return names;
+}
+
+Result<core::SystemProfile> ResolveSystemProfile(
+    const core::StudyDataset& dataset, const std::string& query) {
+  const std::string needle = Lower(query);
+  if (needle.empty() || needle == "none" || needle == "empty") {
+    core::SystemProfile profile;
+    profile.name = "none";
+    profile.evaluated_kinds = {core::ApiKind::kSyscall};
+    return profile;
+  }
+  if (needle == "all") {
+    // Greenfield across every API family: empty evaluated_kinds means all
+    // kinds count (core::CompletenessOptions semantics), so the plan spans
+    // syscalls, vectored sub-ops, and pseudo-files alike.
+    core::SystemProfile profile;
+    profile.name = "all";
+    profile.evaluated_kinds = {};
+    return profile;
+  }
+  const corpus::SystemPlanRow* exact = nullptr;
+  std::vector<const corpus::SystemPlanRow*> partial;
+  for (const auto& row : corpus::LinuxSystemPlans()) {
+    const std::string name = Lower(row.name);
+    if (name == needle) {
+      exact = &row;
+      break;
+    }
+    if (name.find(needle) != std::string::npos) {
+      partial.push_back(&row);
+    }
+  }
+  const corpus::SystemPlanRow* chosen =
+      exact != nullptr ? exact : (partial.size() == 1 ? partial[0] : nullptr);
+  if (chosen == nullptr) {
+    std::string known;
+    for (const auto& name : KnownProfileNames()) {
+      known += (known.empty() ? "" : ", ") + name;
+    }
+    return InvalidArgumentError(
+        (partial.empty() ? "unknown system profile: "
+                         : "ambiguous system profile: ") +
+        query + " (known: " + known + ")");
+  }
+  return corpus::BuildSystemProfile(dataset, *chosen);
+}
+
+}  // namespace lapis::plan

@@ -1,0 +1,31 @@
+// Glue between the planner and the study's Table 6 system profiles: resolve
+// a user-typed system name ("freebsd", "Graphene (+sched)", "none") to a
+// concrete supported-syscall profile against a dataset's importance ranking.
+
+#ifndef LAPIS_SRC_PLAN_PROFILES_H_
+#define LAPIS_SRC_PLAN_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/dataset.h"
+#include "src/core/systems.h"
+#include "src/util/status.h"
+
+namespace lapis::plan {
+
+// Names accepted by ResolveSystemProfile (the Table 6 rows plus "none").
+std::vector<std::string> KnownProfileNames();
+
+// Resolves `query` to a SystemProfile. "none" / "" yields an empty profile
+// (greenfield plan, syscalls evaluated); "all" evaluates every API kind
+// (vectored sub-ops and pseudo-files too). Otherwise the match is
+// case-insensitive: an exact name wins, else a unique substring of exactly
+// one Table 6 row; no match or an ambiguous one is an InvalidArgument
+// error listing the known names.
+Result<core::SystemProfile> ResolveSystemProfile(
+    const core::StudyDataset& dataset, const std::string& query);
+
+}  // namespace lapis::plan
+
+#endif  // LAPIS_SRC_PLAN_PROFILES_H_

@@ -1,5 +1,6 @@
 #include "src/serve/client.h"
 
+#include <cerrno>
 #include <unistd.h>
 
 #include <utility>
@@ -8,24 +9,37 @@
 
 namespace lapis::serve {
 
-Result<QueryClient> QueryClient::ConnectUnix(const std::string& path) {
-  LAPIS_ASSIGN_OR_RETURN(int fd, ConnectUnixSocket(path));
-  return QueryClient(fd);
+Result<QueryClient> QueryClient::ConnectUnix(const std::string& path,
+                                             int timeout_ms) {
+  LAPIS_ASSIGN_OR_RETURN(int fd, ConnectUnixSocket(path, timeout_ms));
+  Status status = SetSocketTimeouts(fd, timeout_ms);
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  return QueryClient(fd, timeout_ms);
 }
 
 Result<QueryClient> QueryClient::ConnectTcp(const std::string& host,
-                                            uint16_t port) {
-  LAPIS_ASSIGN_OR_RETURN(int fd, ConnectTcpSocket(host, port));
-  return QueryClient(fd);
+                                            uint16_t port, int timeout_ms) {
+  LAPIS_ASSIGN_OR_RETURN(int fd, ConnectTcpSocket(host, port, timeout_ms));
+  Status status = SetSocketTimeouts(fd, timeout_ms);
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
+  return QueryClient(fd, timeout_ms);
 }
 
 QueryClient::QueryClient(QueryClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      timeout_ms_(std::exchange(other.timeout_ms_, 0)) {}
 
 QueryClient& QueryClient::operator=(QueryClient&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = std::exchange(other.fd_, -1);
+    timeout_ms_ = std::exchange(other.timeout_ms_, 0);
   }
   return *this;
 }
@@ -45,13 +59,23 @@ Result<std::vector<QueryResponse>> QueryClient::Call(
     return FailedPreconditionError("client is not connected");
   }
   if (!WriteFully(fd_, EncodeRequestFrame(batch))) {
+    int saved_errno = errno;
     Close();
+    if (ErrnoIsTimeout(saved_errno)) {
+      return IoError("send timed out after " + std::to_string(timeout_ms_) +
+                     "ms");
+    }
     return IoError("send failed (server closed the connection?)");
   }
   uint8_t header[kFrameHeaderSize];
   ssize_t n = ReadFully(fd_, header, sizeof(header));
   if (n != static_cast<ssize_t>(sizeof(header))) {
+    int saved_errno = errno;
     Close();
+    if (n < 0 && ErrnoIsTimeout(saved_errno)) {
+      return IoError("response timed out after " +
+                     std::to_string(timeout_ms_) + "ms");
+    }
     return IoError("connection closed before a response frame arrived");
   }
   auto payload_len = DecodeFrameHeader(header, kResponseMagic);
@@ -62,7 +86,12 @@ Result<std::vector<QueryResponse>> QueryClient::Call(
   std::vector<uint8_t> payload(payload_len.value());
   n = ReadFully(fd_, payload.data(), payload.size());
   if (n != static_cast<ssize_t>(payload.size())) {
+    int saved_errno = errno;
     Close();
+    if (n < 0 && ErrnoIsTimeout(saved_errno)) {
+      return IoError("response timed out after " +
+                     std::to_string(timeout_ms_) + "ms");
+    }
     return IoError("truncated response payload");
   }
   auto responses = DecodeResponsePayload(payload);

@@ -18,9 +18,13 @@ namespace lapis::serve {
 
 class QueryClient {
  public:
-  static Result<QueryClient> ConnectUnix(const std::string& path);
+  // `timeout_ms` (0 = no limit) bounds the connect and every subsequent
+  // read/write on the connection; an expired read surfaces as an IoError
+  // naming the timeout instead of hanging on a wedged daemon.
+  static Result<QueryClient> ConnectUnix(const std::string& path,
+                                         int timeout_ms = 0);
   static Result<QueryClient> ConnectTcp(const std::string& host,
-                                        uint16_t port);
+                                        uint16_t port, int timeout_ms = 0);
 
   QueryClient(QueryClient&& other) noexcept;
   QueryClient& operator=(QueryClient&& other) noexcept;
@@ -42,9 +46,10 @@ class QueryClient {
   bool connected() const { return fd_ >= 0; }
 
  private:
-  explicit QueryClient(int fd) : fd_(fd) {}
+  QueryClient(int fd, int timeout_ms) : fd_(fd), timeout_ms_(timeout_ms) {}
 
   int fd_ = -1;
+  int timeout_ms_ = 0;
 };
 
 }  // namespace lapis::serve

@@ -77,6 +77,13 @@ void EncodeRequest(const QueryRequest& request, ByteWriter& writer) {
       writer.PutU32(request.top_k);
       PutApiRefList(writer, request.supported);
       break;
+    case Opcode::kPlanFrontier:
+      writer.PutU8(request.plan_flags);
+      writer.PutU8(request.evaluated_kinds_mask);
+      writer.PutU32(request.plan_max_actions);
+      PutDouble(writer, request.plan_budget);
+      PutApiRefList(writer, request.supported);
+      break;
     case Opcode::kFrameError:
       break;  // never sent as a request; decoder rejects it
   }
@@ -105,6 +112,15 @@ Result<QueryRequest> DecodeRequest(ByteReader& reader) {
       request.opcode = Opcode::kTopK;
       LAPIS_ASSIGN_OR_RETURN(request.top_kind, ReadKind(reader));
       LAPIS_ASSIGN_OR_RETURN(request.top_k, reader.ReadU32());
+      LAPIS_ASSIGN_OR_RETURN(request.supported, ReadApiRefList(reader));
+      return request;
+    }
+    case Opcode::kPlanFrontier: {
+      request.opcode = Opcode::kPlanFrontier;
+      LAPIS_ASSIGN_OR_RETURN(request.plan_flags, reader.ReadU8());
+      LAPIS_ASSIGN_OR_RETURN(request.evaluated_kinds_mask, reader.ReadU8());
+      LAPIS_ASSIGN_OR_RETURN(request.plan_max_actions, reader.ReadU32());
+      LAPIS_ASSIGN_OR_RETURN(request.plan_budget, ReadDouble(reader));
       LAPIS_ASSIGN_OR_RETURN(request.supported, ReadApiRefList(reader));
       return request;
     }
@@ -164,6 +180,26 @@ void EncodeResponse(const QueryResponse& response, ByteWriter& writer) {
       }
       break;
     }
+    case Opcode::kPlanFrontier: {
+      const PlanFrontierResult& result = response.plan;
+      PutDouble(writer, result.initial_completeness);
+      PutDouble(writer, result.final_completeness);
+      PutDouble(writer, result.total_cost);
+      writer.PutU8(result.audit_blind);
+      writer.PutU32(static_cast<uint32_t>(result.actions.size()));
+      for (const PlanActionWire& action : result.actions) {
+        writer.PutU8(static_cast<uint8_t>(action.api.kind));
+        writer.PutU32(action.api.code);
+        writer.PutLengthPrefixedString(action.name);
+        writer.PutU8(action.action);
+        writer.PutU8(action.evidence);
+        PutDouble(writer, action.cost);
+        PutDouble(writer, action.cumulative_cost);
+        PutDouble(writer, action.completeness_after);
+        PutDouble(writer, action.importance);
+      }
+      break;
+    }
     case Opcode::kFrameError:
       break;  // status is never kOk for frame errors
   }
@@ -185,6 +221,7 @@ Result<QueryResponse> DecodeResponse(ByteReader& reader) {
     case Opcode::kImportance:
     case Opcode::kEvalProfile:
     case Opcode::kTopK:
+    case Opcode::kPlanFrontier:
     case Opcode::kFrameError:
       response.opcode = static_cast<Opcode>(opcode);
       break;
@@ -244,6 +281,35 @@ Result<QueryResponse> DecodeResponse(ByteReader& reader) {
                                reader.ReadLengthPrefixedString());
         LAPIS_ASSIGN_OR_RETURN(entry.importance, ReadDouble(reader));
         response.top_k.push_back(std::move(entry));
+      }
+      break;
+    }
+    case Opcode::kPlanFrontier: {
+      PlanFrontierResult& result = response.plan;
+      LAPIS_ASSIGN_OR_RETURN(result.initial_completeness, ReadDouble(reader));
+      LAPIS_ASSIGN_OR_RETURN(result.final_completeness, ReadDouble(reader));
+      LAPIS_ASSIGN_OR_RETURN(result.total_cost, ReadDouble(reader));
+      LAPIS_ASSIGN_OR_RETURN(result.audit_blind, reader.ReadU8());
+      LAPIS_ASSIGN_OR_RETURN(uint32_t count, reader.ReadU32());
+      if (count > kMaxProfileApis) {
+        return InvalidArgumentError("plan result too large: " +
+                                    std::to_string(count));
+      }
+      result.actions.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        PlanActionWire action;
+        LAPIS_ASSIGN_OR_RETURN(action.api.kind, ReadKind(reader));
+        LAPIS_ASSIGN_OR_RETURN(action.api.code, reader.ReadU32());
+        LAPIS_ASSIGN_OR_RETURN(action.name,
+                               reader.ReadLengthPrefixedString());
+        LAPIS_ASSIGN_OR_RETURN(action.action, reader.ReadU8());
+        LAPIS_ASSIGN_OR_RETURN(action.evidence, reader.ReadU8());
+        LAPIS_ASSIGN_OR_RETURN(action.cost, ReadDouble(reader));
+        LAPIS_ASSIGN_OR_RETURN(action.cumulative_cost, ReadDouble(reader));
+        LAPIS_ASSIGN_OR_RETURN(action.completeness_after,
+                               ReadDouble(reader));
+        LAPIS_ASSIGN_OR_RETURN(action.importance, ReadDouble(reader));
+        result.actions.push_back(std::move(action));
       }
       break;
     }

@@ -56,8 +56,12 @@ enum class Opcode : uint8_t {
   kImportance = 2,  // point lookup: importance of one API
   kEvalProfile = 3, // weighted completeness of a supported-API profile
   kTopK = 4,        // top-K APIs to add next (given an optional profile)
+  kPlanFrontier = 5,  // greedy support plan: next APIs to build, with costs
   kFrameError = 0xff,  // response-only: the frame itself was malformed
 };
+
+// kPlanFrontier request flag bits.
+inline constexpr uint8_t kPlanFlagAuditBlind = 1;  // ignore audit evidence
 
 enum class WireStatus : uint8_t {
   kOk = 0,
@@ -88,6 +92,12 @@ struct QueryRequest {
   // kTopK
   core::ApiKind top_kind = core::ApiKind::kSyscall;
   uint32_t top_k = 0;
+  // kPlanFrontier (also uses evaluated_kinds_mask + supported): cap on the
+  // number of plan actions returned (0 = server default), cost budget
+  // (infinity = unbounded), and kPlanFlag* bits.
+  uint32_t plan_max_actions = 0;
+  double plan_budget = 0.0;  // <= 0 means unbounded
+  uint8_t plan_flags = 0;
 };
 
 struct ImportanceResult {
@@ -112,6 +122,28 @@ struct TopKEntry {
   double importance = 0.0;
 };
 
+// One step of a support plan on the wire. `action` / `evidence` carry the
+// raw plan::SupportAction / plan::EvidenceClass byte (the protocol layer
+// stays independent of src/plan).
+struct PlanActionWire {
+  core::ApiId api;
+  std::string name;
+  uint8_t action = 0;
+  uint8_t evidence = 0;
+  double cost = 0.0;
+  double cumulative_cost = 0.0;
+  double completeness_after = 0.0;
+  double importance = 0.0;
+};
+
+struct PlanFrontierResult {
+  double initial_completeness = 0.0;
+  double final_completeness = 0.0;
+  double total_cost = 0.0;
+  uint8_t audit_blind = 0;  // 1 if the plan ignored audit evidence
+  std::vector<PlanActionWire> actions;
+};
+
 struct ServerInfoResult {
   uint32_t protocol_version = kProtocolVersion;
   uint64_t generation = 0;
@@ -130,6 +162,7 @@ struct QueryResponse {
   ImportanceResult importance;
   EvalProfileResult eval;
   std::vector<TopKEntry> top_k;
+  PlanFrontierResult plan;
   ServerInfoResult info;
 };
 

@@ -3,11 +3,14 @@
 #include <cstdio>
 #include <set>
 
+#include <algorithm>
+
 #include "src/cache/content_hash.h"
 #include "src/core/completeness.h"
 #include "src/corpus/study_runner.h"
 #include "src/corpus/syscall_table.h"
 #include "src/corpus/system_profiles.h"
+#include "src/plan/planner.h"
 
 namespace lapis::serve {
 
@@ -221,6 +224,8 @@ QueryResponse Snapshot::Execute(const QueryRequest& request) const {
       return ExecuteEvalProfile(request);
     case Opcode::kTopK:
       return ExecuteTopK(request);
+    case Opcode::kPlanFrontier:
+      return ExecutePlanFrontier(request);
     case Opcode::kFrameError:
       break;
   }
@@ -337,6 +342,75 @@ QueryResponse Snapshot::ExecuteTopK(const QueryRequest& request) const {
     entry.name = std::string(ApiName(api));
     entry.importance = dataset().ApiImportance(api);
     response.top_k.push_back(std::move(entry));
+  }
+  return response;
+}
+
+QueryResponse Snapshot::ExecutePlanFrontier(
+    const QueryRequest& request) const {
+  QueryResponse response;
+  response.opcode = Opcode::kPlanFrontier;
+
+  plan::PlannerInput input;
+  input.dataset = artifact_.dataset.get();
+  plan::CostModel costs = plan::CostModel::Defaults();
+  input.costs = &costs;
+  for (const ApiRef& ref : request.supported) {
+    core::ApiId api;
+    bool absent = false;
+    WireStatus status = ResolveApi(ref, &api, &absent);
+    if (status != WireStatus::kOk) {
+      response.status = status;
+      response.error = "cannot resolve '" + ref.name + "'";
+      return response;
+    }
+    if (!absent) {
+      input.already_supported.insert(api);
+    }
+  }
+  for (int k = 0; k < core::kApiKindCount; ++k) {
+    if (request.evaluated_kinds_mask & (1u << k)) {
+      input.evaluated_kinds.insert(static_cast<core::ApiKind>(k));
+    }
+  }
+  const bool audit_blind = (request.plan_flags & kPlanFlagAuditBlind) != 0 ||
+                           artifact_.evidence_kinds_mask == 0;
+  if (!audit_blind) {
+    input.evidence.kinds_mask = artifact_.evidence_kinds_mask;
+    input.evidence.observed = artifact_.evidence_observed;
+  }
+  if (request.plan_budget > 0.0) {
+    input.budget = request.plan_budget;
+  }
+  // Cap the action list so the response always fits one frame (the payload
+  // ceiling is 1 MiB; ~60 bytes/action keeps 4096 comfortably inside it).
+  input.max_actions = request.plan_max_actions == 0
+                          ? 100
+                          : std::min<uint32_t>(request.plan_max_actions, 4096);
+
+  plan::SupportPlan support_plan = plan::GreedyPlan(input);
+
+  PlanFrontierResult& result = response.plan;
+  result.initial_completeness = support_plan.initial_completeness;
+  result.final_completeness = support_plan.final_completeness;
+  result.total_cost = support_plan.total_cost;
+  result.audit_blind = audit_blind ? 1 : 0;
+  result.actions.reserve(support_plan.actions.size());
+  for (const plan::PlanAction& action : support_plan.actions) {
+    PlanActionWire wire;
+    wire.api = action.api;
+    std::string_view canonical = ApiName(action.api);
+    wire.name = canonical.empty()
+                    ? plan::PlanApiName(action.api, artifact_.path_interner,
+                                        artifact_.libc_interner)
+                    : std::string(canonical);
+    wire.action = static_cast<uint8_t>(action.action);
+    wire.evidence = static_cast<uint8_t>(action.evidence);
+    wire.cost = action.cost;
+    wire.cumulative_cost = action.cumulative_cost;
+    wire.completeness_after = action.completeness_after;
+    wire.importance = action.importance;
+    result.actions.push_back(std::move(wire));
   }
   return response;
 }

@@ -80,6 +80,7 @@ class Snapshot {
   QueryResponse ExecuteImportance(const QueryRequest& request) const;
   QueryResponse ExecuteEvalProfile(const QueryRequest& request) const;
   QueryResponse ExecuteTopK(const QueryRequest& request) const;
+  QueryResponse ExecutePlanFrontier(const QueryRequest& request) const;
 
   corpus::StudyArtifact artifact_;
   uint64_t content_hash_ = 0;

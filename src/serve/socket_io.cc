@@ -3,8 +3,12 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <ctime>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -34,6 +38,73 @@ Result<sockaddr_in> TcpAddr(const std::string& host, uint16_t port) {
     return InvalidArgumentError("not an IPv4 address: " + host);
   }
   return addr;
+}
+
+int64_t NowMillis() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+// Connects `fd` (made non-blocking for the duration) with EINTR safety and
+// an optional deadline. POSIX: once connect() has been interrupted by a
+// signal, the connection attempt continues asynchronously — retrying the
+// connect() call itself would yield EALREADY/EISCONN on a healthy socket,
+// so completion is awaited via poll(POLLOUT) and judged by SO_ERROR.
+Status ConnectWithDeadline(int fd, const sockaddr* addr, socklen_t len,
+                           const std::string& what, int timeout_ms) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoError("fcntl(O_NONBLOCK) " + what);
+  }
+  Status status = Status::Ok();
+  if (::connect(fd, addr, len) != 0) {
+    if (errno == EINPROGRESS || errno == EINTR) {
+      const int64_t deadline =
+          timeout_ms > 0 ? NowMillis() + timeout_ms : 0;
+      for (;;) {
+        int wait_ms = -1;
+        if (timeout_ms > 0) {
+          int64_t remaining = deadline - NowMillis();
+          if (remaining <= 0) {
+            status = IoError("connect " + what + " timed out after " +
+                             std::to_string(timeout_ms) + "ms");
+            break;
+          }
+          wait_ms = static_cast<int>(remaining);
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        int ready = ::poll(&pfd, 1, wait_ms);
+        if (ready < 0) {
+          if (errno == EINTR) {
+            continue;  // e.g. SIGHUP mid-connect: keep waiting
+          }
+          status = ErrnoError("poll(connect " + what + ")");
+          break;
+        }
+        if (ready == 0) {
+          status = IoError("connect " + what + " timed out after " +
+                           std::to_string(timeout_ms) + "ms");
+          break;
+        }
+        int so_error = 0;
+        socklen_t so_len = sizeof(so_error);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) != 0) {
+          status = ErrnoError("getsockopt(SO_ERROR) " + what);
+        } else if (so_error != 0) {
+          status = IoError("connect " + what + ": " +
+                           std::strerror(so_error));
+        }
+        break;
+      }
+    } else {
+      status = ErrnoError("connect " + what);
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0 && status.ok()) {
+    return ErrnoError("fcntl(restore flags) " + what);
+  }
+  return status;
 }
 
 }  // namespace
@@ -72,35 +143,58 @@ bool WriteFully(int fd, std::span<const uint8_t> data) {
   return true;
 }
 
-Result<int> ConnectUnixSocket(const std::string& path) {
+Result<int> ConnectUnixSocket(const std::string& path, int timeout_ms) {
   LAPIS_ASSIGN_OR_RETURN(sockaddr_un addr, UnixAddr(path));
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return ErrnoError("socket(AF_UNIX)");
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    Status status = ErrnoError("connect " + path);
+  Status status =
+      ConnectWithDeadline(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr), path, timeout_ms);
+  if (!status.ok()) {
     ::close(fd);
     return status;
   }
   return fd;
 }
 
-Result<int> ConnectTcpSocket(const std::string& host, uint16_t port) {
+Result<int> ConnectTcpSocket(const std::string& host, uint16_t port,
+                             int timeout_ms) {
   LAPIS_ASSIGN_OR_RETURN(sockaddr_in addr, TcpAddr(host, port));
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return ErrnoError("socket(AF_INET)");
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    Status status =
-        ErrnoError("connect " + host + ":" + std::to_string(port));
+  Status status =
+      ConnectWithDeadline(fd, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof(addr), host + ":" + std::to_string(port),
+                          timeout_ms);
+  if (!status.ok()) {
     ::close(fd);
     return status;
   }
   return fd;
+}
+
+Status SetSocketTimeouts(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) {
+    return Status::Ok();
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoError("setsockopt(SO_RCVTIMEO)");
+  }
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoError("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::Ok();
+}
+
+bool ErrnoIsTimeout(int saved_errno) {
+  return saved_errno == EAGAIN || saved_errno == EWOULDBLOCK;
 }
 
 Result<int> ListenUnixSocket(const std::string& path, int backlog) {

@@ -25,9 +25,22 @@ ssize_t ReadFully(int fd, uint8_t* out, size_t size);
 bool WriteFully(int fd, std::span<const uint8_t> data);
 
 // Creates + connects a blocking client socket. Unix paths are limited by
-// sun_path (~107 bytes).
-Result<int> ConnectUnixSocket(const std::string& path);
-Result<int> ConnectTcpSocket(const std::string& host, uint16_t port);
+// sun_path (~107 bytes). `timeout_ms` bounds the connect itself (0 = wait
+// forever). Either way the connect is interrupt-safe: a signal delivered
+// mid-connect leaves the attempt in progress (POSIX), so completion is
+// awaited with poll + SO_ERROR rather than failing the healthy socket.
+Result<int> ConnectUnixSocket(const std::string& path, int timeout_ms = 0);
+Result<int> ConnectTcpSocket(const std::string& host, uint16_t port,
+                             int timeout_ms = 0);
+
+// Applies SO_RCVTIMEO/SO_SNDTIMEO so blocked reads/writes fail with
+// EAGAIN/EWOULDBLOCK after `timeout_ms` instead of hanging on a wedged
+// peer. No-op when timeout_ms <= 0.
+Status SetSocketTimeouts(int fd, int timeout_ms);
+
+// True when errno (captured after a failed read/write) means the socket
+// timeout expired rather than a real I/O failure.
+bool ErrnoIsTimeout(int saved_errno);
 
 // Creates, binds, and listens. The Unix variant unlinks a pre-existing
 // socket file first (daemon restart idiom). The TCP variant binds `host`

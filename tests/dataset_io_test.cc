@@ -88,6 +88,57 @@ TEST(DatasetIo, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+// Minimal finalized StudyResult (SerializeStudy only reads the dataset,
+// the interners, and the evidence fields).
+StudyResult TinyStudy() {
+  StudyResult study;
+  study.dataset = std::make_unique<core::StudyDataset>(1, 100);
+  EXPECT_TRUE(study.dataset->SetPackageName(0, "p").ok());
+  EXPECT_TRUE(study.dataset->SetInstallCount(0, 100).ok());
+  EXPECT_TRUE(
+      study.dataset->SetFootprint(0, {core::SyscallApi(0), core::SyscallApi(9)})
+          .ok());
+  EXPECT_TRUE(study.dataset->Finalize().ok());
+  return study;
+}
+
+TEST(DatasetIo, EvidenceSurvivesRoundTrip) {
+  StudyResult study = TinyStudy();
+  study.evidence_kinds_mask =
+      static_cast<uint8_t>(1u << static_cast<uint8_t>(core::ApiKind::kSyscall)) |
+      static_cast<uint8_t>(1u << static_cast<uint8_t>(core::ApiKind::kIoctlOp));
+  study.evidence_observed = {core::SyscallApi(0), core::SyscallApi(9),
+                             core::IoctlApi(0x5401)};
+
+  ByteWriter writer;
+  ASSERT_TRUE(SerializeStudy(study, writer).ok());
+  auto bytes = writer.Take();
+  ByteReader reader(bytes);
+  auto artifact = DeserializeStudy(reader);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_EQ(artifact.value().evidence_kinds_mask, study.evidence_kinds_mask);
+  EXPECT_EQ(artifact.value().evidence_observed, study.evidence_observed);
+}
+
+TEST(DatasetIo, V1ArtifactLoadsWithEmptyEvidence) {
+  // A v1 artifact is a v2 one minus the trailing evidence section (1-byte
+  // mask + u32 count) with the version field rewritten; loading it must
+  // succeed with no evidence rather than be rejected.
+  StudyResult study = TinyStudy();
+  ByteWriter writer;
+  ASSERT_TRUE(SerializeStudy(study, writer).ok());
+  auto bytes = writer.Take();
+  ASSERT_GE(bytes.size(), 5u + 4u);
+  bytes.resize(bytes.size() - 5);  // empty evidence: u8 mask + u32 count
+  bytes[4] = 1;                    // version field follows the magic
+  ByteReader reader(bytes);
+  auto artifact = DeserializeStudy(reader);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_EQ(artifact.value().evidence_kinds_mask, 0u);
+  EXPECT_TRUE(artifact.value().evidence_observed.empty());
+  EXPECT_EQ(artifact.value().dataset->package_count(), 1u);
+}
+
 TEST(DatasetIo, RejectsBadMagicAndTruncation) {
   auto bytes = SerializedStudy();
   {

@@ -111,6 +111,75 @@ TEST(ServeProtocol, ResponseBatchRoundTrip) {
   EXPECT_EQ(decoded.value()[4].top_k[1].importance, 0.999999999999);
 }
 
+TEST(ServeProtocol, PlanFrontierRequestRoundTrip) {
+  std::vector<QueryRequest> batch(1);
+  batch[0].opcode = Opcode::kPlanFrontier;
+  batch[0].evaluated_kinds_mask = 0x01;
+  batch[0].plan_max_actions = 64;
+  batch[0].plan_budget = 123.5;
+  batch[0].plan_flags = kPlanFlagAuditBlind;
+  batch[0].supported.resize(2);
+  batch[0].supported[0] = {core::ApiKind::kSyscall, 0, "read"};
+  batch[0].supported[1] = {core::ApiKind::kSyscall, 1, "write"};
+
+  auto frame = EncodeRequestFrame(batch);
+  auto decoded = DecodeRequestPayload(Payload(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), 1u);
+  const QueryRequest& req = decoded.value()[0];
+  EXPECT_EQ(req.opcode, Opcode::kPlanFrontier);
+  EXPECT_EQ(req.plan_max_actions, 64u);
+  EXPECT_EQ(req.plan_budget, 123.5);
+  EXPECT_EQ(req.plan_flags, kPlanFlagAuditBlind);
+  ASSERT_EQ(req.supported.size(), 2u);
+  EXPECT_EQ(req.supported[1].name, "write");
+}
+
+TEST(ServeProtocol, PlanFrontierResponseRoundTrip) {
+  std::vector<QueryResponse> batch(1);
+  batch[0].opcode = Opcode::kPlanFrontier;
+  batch[0].generation = 11;
+  batch[0].plan.initial_completeness = 0.25;
+  batch[0].plan.final_completeness = 0.987654321098765;
+  batch[0].plan.total_cost = 4321.25;
+  batch[0].plan.audit_blind = 1;
+  batch[0].plan.actions.resize(2);
+  batch[0].plan.actions[0].api = core::SyscallApi(202);
+  batch[0].plan.actions[0].name = "futex";
+  batch[0].plan.actions[0].action = 3;    // plan::SupportAction::kFull
+  batch[0].plan.actions[0].evidence = 2;  // plan::EvidenceClass::kMustImplement
+  batch[0].plan.actions[0].cost = 10.0;
+  batch[0].plan.actions[0].cumulative_cost = 10.0;
+  batch[0].plan.actions[0].completeness_after = 0.5;
+  batch[0].plan.actions[0].importance = 0.999;
+  batch[0].plan.actions[1].api = core::IoctlApi(0x5401);
+  batch[0].plan.actions[1].name = "TCGETS";
+  batch[0].plan.actions[1].action = 2;    // kFake
+  batch[0].plan.actions[1].evidence = 1;  // kStubSafe
+  batch[0].plan.actions[1].cost = 6.5;
+  batch[0].plan.actions[1].cumulative_cost = 16.5;
+  batch[0].plan.actions[1].completeness_after = 0.75;
+  batch[0].plan.actions[1].importance = 0.5;
+
+  auto frame = EncodeResponseFrame(batch);
+  auto decoded = DecodeResponsePayload(Payload(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), 1u);
+  const PlanFrontierResult& plan = decoded.value()[0].plan;
+  // Doubles travel as bit patterns, so equality is exact.
+  EXPECT_EQ(plan.initial_completeness, 0.25);
+  EXPECT_EQ(plan.final_completeness, 0.987654321098765);
+  EXPECT_EQ(plan.total_cost, 4321.25);
+  EXPECT_EQ(plan.audit_blind, 1);
+  ASSERT_EQ(plan.actions.size(), 2u);
+  EXPECT_EQ(plan.actions[0].name, "futex");
+  EXPECT_EQ(plan.actions[0].action, 3);
+  EXPECT_EQ(plan.actions[0].evidence, 2);
+  EXPECT_EQ(plan.actions[1].api, core::IoctlApi(0x5401));
+  EXPECT_EQ(plan.actions[1].cumulative_cost, 16.5);
+  EXPECT_EQ(plan.actions[1].completeness_after, 0.75);
+}
+
 TEST(ServeProtocol, ErrorResponseCarriesMessage) {
   QueryResponse error;
   error.opcode = Opcode::kImportance;

@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <thread>
 
@@ -18,6 +22,8 @@
 #include "src/corpus/study_runner.h"
 #include "src/corpus/syscall_table.h"
 #include "src/corpus/system_profiles.h"
+#include "src/plan/cost_model.h"
+#include "src/plan/planner.h"
 #include "src/serve/client.h"
 #include "src/serve/generation.h"
 #include "src/serve/protocol.h"
@@ -175,6 +181,57 @@ TEST(ServeSnapshot, TopKZeroCountIsBadRequest) {
             WireStatus::kBadRequest);
 }
 
+TEST(ServeSnapshot, PlanFrontierMatchesDirectGreedyPlan) {
+  auto snapshot = SharedSnapshot();
+  QueryRequest request;
+  request.opcode = Opcode::kPlanFrontier;
+  request.evaluated_kinds_mask =
+      1u << static_cast<uint8_t>(core::ApiKind::kSyscall);
+  request.plan_max_actions = 32;
+  auto response = snapshot->Execute(request);
+  ASSERT_EQ(response.status, WireStatus::kOk);
+  // SmallStudyOptions runs no audit, so the plan must be audit-blind even
+  // without the client asking for it.
+  EXPECT_EQ(response.plan.audit_blind, 1);
+  ASSERT_FALSE(response.plan.actions.empty());
+  ASSERT_LE(response.plan.actions.size(), 32u);
+
+  plan::PlannerInput input;
+  input.dataset = Study().dataset.get();
+  plan::CostModel costs = plan::CostModel::Defaults();
+  input.costs = &costs;
+  input.evaluated_kinds = {core::ApiKind::kSyscall};
+  input.max_actions = 32;
+  plan::SupportPlan direct = plan::GreedyPlan(input);
+
+  // The daemon adds transport, not arithmetic: bit-identical doubles.
+  EXPECT_EQ(response.plan.initial_completeness, direct.initial_completeness);
+  EXPECT_EQ(response.plan.final_completeness, direct.final_completeness);
+  EXPECT_EQ(response.plan.total_cost, direct.total_cost);
+  ASSERT_EQ(response.plan.actions.size(), direct.actions.size());
+  for (size_t i = 0; i < direct.actions.size(); ++i) {
+    EXPECT_EQ(response.plan.actions[i].api, direct.actions[i].api) << i;
+    EXPECT_EQ(response.plan.actions[i].action,
+              static_cast<uint8_t>(direct.actions[i].action))
+        << i;
+    EXPECT_EQ(response.plan.actions[i].cumulative_cost,
+              direct.actions[i].cumulative_cost)
+        << i;
+    EXPECT_EQ(response.plan.actions[i].completeness_after,
+              direct.actions[i].completeness_after)
+        << i;
+  }
+}
+
+TEST(ServeSnapshot, PlanFrontierUnknownSupportedApiIsError) {
+  QueryRequest request;
+  request.opcode = Opcode::kPlanFrontier;
+  request.supported.resize(1);
+  request.supported[0] = {core::ApiKind::kSyscall, 0, "no_such_syscall"};
+  EXPECT_EQ(SharedSnapshot()->Execute(request).status,
+            WireStatus::kUnknownApi);
+}
+
 TEST(ServeSnapshot, SameArtifactSameContentHash) {
   auto again = Snapshot::FromStudy(Study(), "other-label");
   ASSERT_TRUE(again.ok());
@@ -212,6 +269,121 @@ TEST(ServeGeneration, OldGenerationSurvivesReplacement) {
   EXPECT_EQ(pinned->number, 1u);
   EXPECT_EQ(pinned->snapshot->source(), "test-study");
   EXPECT_EQ(store.Current()->number, 2u);
+}
+
+// ---- Socket I/O: EINTR survival and timeouts ----
+
+// A signal handler installed WITHOUT SA_RESTART makes every blocking
+// read/write return EINTR — the daemon-reload (SIGHUP) scenario. Scoped
+// installer so a failing assertion cannot leak the handler.
+class ScopedSighupHandler {
+ public:
+  ScopedSighupHandler() {
+    struct sigaction sa = {};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: syscalls must surface EINTR
+    sigaction(SIGHUP, &sa, &old_);
+  }
+  ~ScopedSighupHandler() { sigaction(SIGHUP, &old_, nullptr); }
+
+ private:
+  struct sigaction old_ = {};
+};
+
+TEST(SocketIo, ReadAndWriteFullySurviveSighupMidTransfer) {
+  ScopedSighupHandler handler;
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Shrink the pipe so the writer genuinely blocks mid-payload and the
+  // reader genuinely blocks between chunks.
+  int small = 16 * 1024;
+  setsockopt(fds[0], SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  setsockopt(fds[1], SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+
+  std::vector<uint8_t> payload(2 * 1024 * 1024);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 131u + 17u);
+  }
+
+  std::atomic<int> remaining{2};
+  std::vector<uint8_t> received(payload.size());
+  ssize_t read_result = -2;
+  bool write_result = false;
+
+  std::thread reader([&] {
+    read_result = ReadFully(fds[0], received.data(), received.size());
+    remaining.fetch_sub(1);
+  });
+  std::thread writer([&] {
+    write_result = WriteFully(fds[1], payload);
+    remaining.fetch_sub(1);
+  });
+  // Pepper both blocked threads with SIGHUP for the whole transfer. The
+  // pthread_t handles stay valid until join, which happens only after the
+  // signaler exits.
+  pthread_t reader_handle = reader.native_handle();
+  pthread_t writer_handle = writer.native_handle();
+  std::thread signaler([&] {
+    while (remaining.load() > 0) {
+      pthread_kill(reader_handle, SIGHUP);
+      pthread_kill(writer_handle, SIGHUP);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  signaler.join();
+  writer.join();
+  reader.join();
+
+  EXPECT_TRUE(write_result);
+  EXPECT_EQ(read_result, static_cast<ssize_t>(payload.size()));
+  EXPECT_EQ(received, payload);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(SocketIo, ReadTimeoutExpiresInsteadOfHanging) {
+  // A listener that never accepts: connect succeeds via the backlog, but
+  // no response ever arrives — the client read must expire, not hang.
+  std::string path = TestSocketPath("timeout");
+  auto listener = ListenUnixSocket(path, 4);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  auto client = QueryClient::ConnectUnix(path, /*timeout_ms=*/150);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto start = std::chrono::steady_clock::now();
+  QueryRequest ping;  // defaults to kPing
+  auto response = client.value().CallOne(ping);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.status().ToString().find("timed out"),
+            std::string::npos)
+      << response.status().ToString();
+  EXPECT_GE(elapsed, 100);
+  EXPECT_LT(elapsed, 5000);
+  close(listener.value());
+  unlink(path.c_str());
+}
+
+TEST(SocketIo, ZeroTimeoutMeansWaitForever) {
+  // timeout_ms = 0 must leave the socket blocking (no spurious EAGAIN on
+  // a healthy round trip).
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("notimeout");
+  options.workers = 1;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok());
+  auto client = QueryClient::ConnectUnix(options.unix_socket_path, 0);
+  ASSERT_TRUE(client.ok());
+  auto response = client.value().CallOne(ImportanceRequest("read"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response.value().status, WireStatus::kOk);
+  server.value()->Stop();
 }
 
 // ---- Server end-to-end over a Unix socket ----
@@ -260,6 +432,50 @@ TEST(ServeServer, AnswersBatchOverUnixSocket) {
   EXPECT_EQ(stats.frames_served, 2u);
   EXPECT_EQ(stats.requests_served, 4u);
   EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(ServeServer, PlanFrontierOverUnixSocket) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("plan");
+  options.workers = 1;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto client = QueryClient::ConnectUnix(options.unix_socket_path);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  QueryRequest request;
+  request.opcode = Opcode::kPlanFrontier;
+  request.evaluated_kinds_mask =
+      1u << static_cast<uint8_t>(core::ApiKind::kSyscall);
+  request.plan_max_actions = 16;  // output cap; budget stays unbounded
+  auto response = client.value().CallOne(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response.value().status, WireStatus::kOk);
+  const PlanFrontierResult& plan = response.value().plan;
+  ASSERT_FALSE(plan.actions.empty());
+  EXPECT_LE(plan.actions.size(), 16u);
+  // Per-action curves are monotone and end at the summary values.
+  for (size_t i = 1; i < plan.actions.size(); ++i) {
+    EXPECT_GE(plan.actions[i].cumulative_cost,
+              plan.actions[i - 1].cumulative_cost);
+    EXPECT_GE(plan.actions[i].completeness_after,
+              plan.actions[i - 1].completeness_after);
+  }
+  EXPECT_EQ(plan.actions.back().cumulative_cost, plan.total_cost);
+  EXPECT_EQ(plan.actions.back().completeness_after, plan.final_completeness);
+  EXPECT_FALSE(plan.actions[0].name.empty());
+
+  // The socket answer is bit-identical to asking the snapshot in-process.
+  auto local = SharedSnapshot()->Execute(request);
+  ASSERT_EQ(local.status, WireStatus::kOk);
+  EXPECT_EQ(plan.final_completeness, local.plan.final_completeness);
+  EXPECT_EQ(plan.total_cost, local.plan.total_cost);
+  ASSERT_EQ(plan.actions.size(), local.plan.actions.size());
+
+  server.value()->Stop();
 }
 
 TEST(ServeServer, NotReadyBeforeFirstPublish) {

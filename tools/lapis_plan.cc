@@ -1,0 +1,173 @@
+// lapis-plan: support-planning CLI over a saved study artifact.
+//
+// Loads the artifact, builds the target system's supported-API profile
+// (a Table 6 system by name, or a bare syscall list), applies the cost
+// model (defaults or a TSV override file), folds in the study's audit
+// evidence when present, and prints the greedy support plan as TSV:
+// which API to add next, how fully (full/fake/stub), at what cost, and
+// the weighted completeness after each step.
+//
+// Examples:
+//   lapis_plan --artifact=study.bin --profile=freebsd --budget=50
+//   lapis_plan --artifact=study.bin --profile=none --max-actions=25
+//   lapis_plan --artifact=study.bin --costs=costs.tsv --out=plan.tsv
+//   lapis_plan --artifact=study.bin --order=importance   # paper baseline
+//   lapis_plan --list-profiles
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "src/corpus/dataset_io.h"
+#include "src/corpus/syscall_table.h"
+#include "src/plan/cost_model.h"
+#include "src/plan/evidence.h"
+#include "src/plan/planner.h"
+#include "src/plan/profiles.h"
+#include "src/util/flags.h"
+#include "src/util/strings.h"
+
+using namespace lapis;
+
+int main(int argc, char** argv) {
+  FlagParser flags(
+      "lapis-plan: compute a support plan (what to implement, in what "
+      "order, how fully) from a saved study artifact");
+  flags.AddString("artifact", "", "saved study artifact (lapis_study --save)");
+  flags.AddString("profile", "none",
+                  "target system: a Table 6 name (case-insensitive "
+                  "substring) or 'none' for a greenfield plan");
+  flags.AddString("supported", "",
+                  "comma-separated syscall names already supported, added "
+                  "on top of --profile");
+  flags.AddDouble("budget", 0.0, "stop once cumulative cost would exceed "
+                  "this (0 = unbounded)");
+  flags.AddInt("max-actions", 0, "stop after N actions (0 = unlimited)");
+  flags.AddString("costs", "", "cost-model override TSV (see README)");
+  flags.AddBool("audit-blind", false,
+                "ignore the artifact's audit evidence (plan every API as "
+                "a full implementation)");
+  flags.AddString("order", "greedy",
+                  "planner: greedy (gain/cost) or importance (the paper's "
+                  "ranking, cost-blind baseline)");
+  flags.AddString("out", "", "write the plan TSV here (default: stdout)");
+  flags.AddBool("list-profiles", false, "print known profile names and exit");
+  auto status = flags.Parse(argc - 1, argv + 1);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.Usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::fputs(flags.Usage().c_str(), stdout);
+    return 0;
+  }
+  if (flags.GetBool("list-profiles")) {
+    for (const auto& name : plan::KnownProfileNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (flags.GetString("artifact").empty()) {
+    std::fprintf(stderr, "--artifact is required\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+
+  auto artifact = corpus::LoadStudy(flags.GetString("artifact"));
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 artifact.status().ToString().c_str());
+    return 1;
+  }
+  const core::StudyDataset& dataset = *artifact.value().dataset;
+
+  auto profile =
+      plan::ResolveSystemProfile(dataset, flags.GetString("profile"));
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 2;
+  }
+  for (const auto& name : Split(flags.GetString("supported"), ',')) {
+    if (name.empty()) {
+      continue;
+    }
+    auto nr = corpus::SyscallNumber(name);
+    if (!nr.has_value()) {
+      std::fprintf(stderr, "unknown syscall in --supported: %s\n",
+                   name.c_str());
+      return 2;
+    }
+    profile.value().supported.insert(
+        core::SyscallApi(static_cast<uint32_t>(*nr)));
+  }
+
+  plan::CostModel costs = plan::CostModel::Defaults();
+  if (!flags.GetString("costs").empty()) {
+    std::ifstream in(flags.GetString("costs"));
+    if (!in.good()) {
+      std::fprintf(stderr, "cannot read %s\n",
+                   flags.GetString("costs").c_str());
+      return 2;
+    }
+    auto load = plan::LoadCostOverridesTsv(
+        in, artifact.value().path_interner, artifact.value().libc_interner,
+        &costs);
+    if (!load.ok()) {
+      std::fprintf(stderr, "%s: %s\n", flags.GetString("costs").c_str(),
+                   load.ToString().c_str());
+      return 2;
+    }
+  }
+
+  plan::PlannerInput input;
+  input.dataset = &dataset;
+  input.costs = &costs;
+  input.already_supported = std::move(profile.value().supported);
+  input.evaluated_kinds = std::move(profile.value().evaluated_kinds);
+  const bool audit_blind = flags.GetBool("audit-blind") ||
+                           artifact.value().evidence_kinds_mask == 0;
+  if (!audit_blind) {
+    input.evidence.kinds_mask = artifact.value().evidence_kinds_mask;
+    input.evidence.observed = artifact.value().evidence_observed;
+  }
+  if (flags.GetDouble("budget") > 0) {
+    input.budget = flags.GetDouble("budget");
+  }
+  if (flags.GetInt("max-actions") > 0) {
+    input.max_actions = static_cast<size_t>(flags.GetInt("max-actions"));
+  }
+
+  const std::string& order = flags.GetString("order");
+  if (order != "greedy" && order != "importance") {
+    std::fprintf(stderr, "--order must be 'greedy' or 'importance' (got "
+                 "%s)\n", order.c_str());
+    return 2;
+  }
+  plan::SupportPlan result = order == "greedy"
+                                 ? plan::GreedyPlan(input)
+                                 : plan::ImportanceOrderPlan(input);
+
+  std::fprintf(stderr,
+               "profile %s: completeness %.4f -> %.4f in %zu actions, "
+               "total cost %.2f (%s)\n",
+               profile.value().name.c_str(), result.initial_completeness,
+               result.final_completeness, result.actions.size(),
+               result.total_cost,
+               audit_blind ? "audit-blind" : "audit-informed");
+  if (!flags.GetString("out").empty()) {
+    std::ofstream os(flags.GetString("out"));
+    if (!os.good()) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   flags.GetString("out").c_str());
+      return 1;
+    }
+    plan::WritePlanTsv(result, artifact.value().path_interner,
+                       artifact.value().libc_interner, os);
+    std::fprintf(stderr, "wrote %s\n", flags.GetString("out").c_str());
+  } else {
+    plan::WritePlanTsv(result, artifact.value().path_interner,
+                       artifact.value().libc_interner, std::cout);
+  }
+  return 0;
+}

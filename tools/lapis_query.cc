@@ -11,7 +11,8 @@
 //   lapis_query --port=7419 --importance=epoll_wait
 //   lapis_query --socket=... --eval=read,write,open,close,mmap
 //   lapis_query --socket=... --top=5 --supported=read,write
-//   lapis_query --socket=... --batch-file=queries.txt
+//   lapis_query --socket=... --plan=20 --budget=50 --supported=read,write
+//   lapis_query --socket=... --batch-file=queries.txt --timeout-ms=2000
 //
 // Batch file grammar (one request per line, '#' comments):
 //   ping
@@ -19,6 +20,7 @@
 //   importance <name> [kind]
 //   eval <name,name,...> [kind]
 //   top <k> [kind] [supported,csv]
+//   plan <n> [budget] [supported,csv]
 
 #include <cstdio>
 #include <fstream>
@@ -28,6 +30,8 @@
 
 #include "src/cache/content_hash.h"
 #include "src/corpus/dataset_io.h"
+#include "src/plan/cost_model.h"
+#include "src/plan/evidence.h"
 #include "src/serve/client.h"
 #include "src/serve/protocol.h"
 #include "src/util/flags.h"
@@ -110,6 +114,18 @@ std::optional<serve::QueryRequest> ParseLine(const std::string& line) {
     request.supported = NamesToRefs(tokens[1], kind);
     return request;
   }
+  if (tokens[0] == "plan" && tokens.size() >= 2) {
+    request.opcode = serve::Opcode::kPlanFrontier;
+    request.plan_max_actions =
+        static_cast<uint32_t>(std::atoi(tokens[1].c_str()));
+    if (tokens.size() >= 3) {
+      request.plan_budget = std::atof(tokens[2].c_str());
+    }
+    if (tokens.size() >= 4) {
+      request.supported = NamesToRefs(tokens[3], core::ApiKind::kSyscall);
+    }
+    return request;
+  }
   if (tokens[0] == "top" && tokens.size() >= 2) {
     request.opcode = serve::Opcode::kTopK;
     request.top_k = static_cast<uint32_t>(std::atoi(tokens[1].c_str()));
@@ -181,6 +197,28 @@ bool PrintResponse(const serve::QueryResponse& response) {
       }
       return true;
     }
+    case serve::Opcode::kPlanFrontier: {
+      std::printf("plan\tsummary\tinitial=%.9g\tfinal=%.9g\tcost=%.9g\t"
+                  "actions=%zu\taudit=%s\n",
+                  response.plan.initial_completeness,
+                  response.plan.final_completeness, response.plan.total_cost,
+                  response.plan.actions.size(),
+                  response.plan.audit_blind ? "blind" : "informed");
+      size_t rank = 1;
+      for (const auto& step : response.plan.actions) {
+        std::printf("plan\t%zu\t%s\t%s\t%s\t%.9g\t%.9g\t%.9g\n", rank++,
+                    step.name.c_str(),
+                    plan::ActionName(
+                        static_cast<plan::SupportAction>(step.action)),
+                    plan::EvidenceClassName(
+                        static_cast<plan::EvidenceClass>(step.evidence)),
+                    step.cost, step.cumulative_cost,
+                    step.completeness_after);
+      }
+      // A plan with zero actions against a non-degenerate dataset means the
+      // request asked for nothing (budget below the cheapest move).
+      return true;
+    }
     case serve::Opcode::kFrameError:
       return false;
   }
@@ -205,8 +243,19 @@ int main(int argc, char** argv) {
                   "comma-separated supported-API names: weighted "
                   "completeness of that profile");
   flags.AddInt("top", 0, "top-K APIs to add next");
+  flags.AddInt("plan", 0,
+               "support-plan length: next N (api, action) steps maximizing "
+               "completeness per unit cost");
+  flags.AddDouble("budget", 0.0,
+                  "cost budget for --plan (0 = unbounded)");
+  flags.AddBool("audit-blind", false,
+                "ignore the study's audit evidence when planning");
   flags.AddString("supported", "",
-                  "comma-separated already-supported names for --top");
+                  "comma-separated already-supported names for "
+                  "--top/--plan");
+  flags.AddInt("timeout-ms", 0,
+               "connect/read/write deadline in milliseconds (0 = wait "
+               "forever); expiry exits 2 with a timeout message");
   flags.AddString("batch-file", "",
                   "file of requests (one per line) sent in the same frame");
   flags.AddBool("version", false,
@@ -270,6 +319,17 @@ int main(int argc, char** argv) {
     request.supported = NamesToRefs(flags.GetString("supported"), *kind);
     batch.push_back(std::move(request));
   }
+  if (flags.GetInt("plan") > 0) {
+    serve::QueryRequest request;
+    request.opcode = serve::Opcode::kPlanFrontier;
+    request.plan_max_actions = static_cast<uint32_t>(flags.GetInt("plan"));
+    request.plan_budget = flags.GetDouble("budget");
+    if (flags.GetBool("audit-blind")) {
+      request.plan_flags |= serve::kPlanFlagAuditBlind;
+    }
+    request.supported = NamesToRefs(flags.GetString("supported"), *kind);
+    batch.push_back(std::move(request));
+  }
   if (!flags.GetString("batch-file").empty()) {
     std::ifstream in(flags.GetString("batch-file"));
     if (!in.good()) {
@@ -297,17 +357,19 @@ int main(int argc, char** argv) {
   if (batch.empty()) {
     std::fprintf(stderr,
                  "nothing to ask: pass --info, --importance, --eval, "
-                 "--top, or --batch-file\n%s",
+                 "--top, --plan, or --batch-file\n%s",
                  flags.Usage().c_str());
     return 2;
   }
 
+  const int timeout_ms = static_cast<int>(flags.GetInt("timeout-ms"));
   Result<serve::QueryClient> client =
       !flags.GetString("socket").empty()
-          ? serve::QueryClient::ConnectUnix(flags.GetString("socket"))
+          ? serve::QueryClient::ConnectUnix(flags.GetString("socket"),
+                                            timeout_ms)
           : serve::QueryClient::ConnectTcp(
                 flags.GetString("host"),
-                static_cast<uint16_t>(flags.GetInt("port")));
+                static_cast<uint16_t>(flags.GetInt("port")), timeout_ms);
   if (!client.ok()) {
     std::fprintf(stderr, "connect failed: %s\n",
                  client.status().ToString().c_str());
