@@ -1,7 +1,8 @@
-// Dataflow-precision benchmark: runs the full study pipeline twice over the
-// same calibrated corpus — once with the linear constant-propagation
-// baseline, once with CFG dataflow — with the differential soundness audit
-// enabled in both modes. Reports, side by side:
+// Dataflow-precision benchmark: runs the full study pipeline three times
+// over the same calibrated corpus — the linear constant-propagation
+// baseline, CFG dataflow, and the interprocedural (ipa) tier — with the
+// differential soundness audit enabled in every mode. Reports, side by
+// side:
 //   * unknown syscall-site counts and rates (precision);
 //   * ground-truth mismatches (both must be zero — soundness of recovery);
 //   * the audit verdict (both must replay with zero violations).
@@ -20,9 +21,10 @@ using namespace lapis;
 
 namespace {
 
-corpus::StudyResult RunMode(bool use_dataflow) {
+corpus::StudyResult RunMode(bool use_dataflow, bool use_ipa = false) {
   corpus::StudyOptions options = bench::BenchStudyOptions();
   options.analyzer.use_dataflow = use_dataflow;
+  options.analyzer.use_ipa = use_ipa;
   options.audit = true;
   auto result = corpus::RunStudy(options);
   if (!result.ok()) {
@@ -43,53 +45,66 @@ std::string Rate(int unknown, int total) {
 }  // namespace
 
 int main() {
-  std::printf("Dataflow constant propagation vs linear baseline\n");
-  std::printf("(same corpus, both modes audited against dynamic replay)\n\n");
+  std::printf("Dataflow constant propagation vs linear baseline vs ipa\n");
+  std::printf("(same corpus, all modes audited against dynamic replay)\n\n");
 
   corpus::StudyResult linear = RunMode(/*use_dataflow=*/false);
   corpus::StudyResult dataflow = RunMode(/*use_dataflow=*/true);
+  corpus::StudyResult ipa = RunMode(/*use_dataflow=*/true, /*use_ipa=*/true);
 
-  TableWriter table({"Metric", "Linear", "CFG dataflow"});
+  TableWriter table({"Metric", "Linear", "CFG dataflow", "IPA"});
   table.AddRow({"syscall sites",
                 std::to_string(linear.total_syscall_sites),
-                std::to_string(dataflow.total_syscall_sites)});
+                std::to_string(dataflow.total_syscall_sites),
+                std::to_string(ipa.total_syscall_sites)});
   table.AddRow({"unknown sites",
                 std::to_string(linear.unknown_syscall_sites),
-                std::to_string(dataflow.unknown_syscall_sites)});
+                std::to_string(dataflow.unknown_syscall_sites),
+                std::to_string(ipa.unknown_syscall_sites)});
   table.AddRow({"unknown rate",
                 Rate(linear.unknown_syscall_sites,
                      linear.total_syscall_sites),
                 Rate(dataflow.unknown_syscall_sites,
-                     dataflow.total_syscall_sites)});
+                     dataflow.total_syscall_sites),
+                Rate(ipa.unknown_syscall_sites,
+                     ipa.total_syscall_sites)});
   table.AddRow({"ground-truth mismatches",
                 std::to_string(linear.ground_truth_mismatches),
-                std::to_string(dataflow.ground_truth_mismatches)});
+                std::to_string(dataflow.ground_truth_mismatches),
+                std::to_string(ipa.ground_truth_mismatches)});
   table.AddRow({"executables replayed",
                 std::to_string(linear.audit->executables_audited),
-                std::to_string(dataflow.audit->executables_audited)});
+                std::to_string(dataflow.audit->executables_audited),
+                std::to_string(ipa.audit->executables_audited)});
   table.AddRow({"soundness violations",
                 std::to_string(linear.audit->soundness_violations),
-                std::to_string(dataflow.audit->soundness_violations)});
+                std::to_string(dataflow.audit->soundness_violations),
+                std::to_string(ipa.audit->soundness_violations)});
   table.AddRow({"observed masked by unknowns",
                 std::to_string(linear.audit->masked_by_unknown_sites),
-                std::to_string(dataflow.audit->masked_by_unknown_sites)});
+                std::to_string(dataflow.audit->masked_by_unknown_sites),
+                std::to_string(ipa.audit->masked_by_unknown_sites)});
   table.AddRow({"static-only margin",
                 std::to_string(linear.audit->static_only_apis),
-                std::to_string(dataflow.audit->static_only_apis)});
+                std::to_string(dataflow.audit->static_only_apis),
+                std::to_string(ipa.audit->static_only_apis)});
   table.Print(std::cout);
 
   std::printf("\nlinear   %s\n", linear.audit->Summary().c_str());
-  std::printf("dataflow %s\n\n", dataflow.audit->Summary().c_str());
+  std::printf("dataflow %s\n", dataflow.audit->Summary().c_str());
+  std::printf("ipa      %s\n\n", ipa.audit->Summary().c_str());
 
   const bool strict_reduction =
-      dataflow.unknown_syscall_sites < linear.unknown_syscall_sites;
-  const bool both_sound =
-      linear.audit->sound() && dataflow.audit->sound();
-  std::printf("strict unknown-site reduction: %s (%d -> %d)\n",
+      dataflow.unknown_syscall_sites < linear.unknown_syscall_sites &&
+      ipa.unknown_syscall_sites < dataflow.unknown_syscall_sites;
+  const bool both_sound = linear.audit->sound() &&
+                          dataflow.audit->sound() && ipa.audit->sound();
+  std::printf("strict unknown-site reduction: %s (%d -> %d -> %d)\n",
               strict_reduction ? "YES" : "NO",
               linear.unknown_syscall_sites,
-              dataflow.unknown_syscall_sites);
-  std::printf("zero audit violations in both modes: %s\n",
+              dataflow.unknown_syscall_sites,
+              ipa.unknown_syscall_sites);
+  std::printf("zero audit violations in all modes: %s\n",
               both_sound ? "YES" : "NO");
   if (!strict_reduction || !both_sound) {
     std::printf("\nVERDICT: FAIL\n");

@@ -27,7 +27,7 @@ int main() {
       for (const char* core_lib :
            {corpus::kLibcSoname, corpus::kLdSoname, corpus::kPthreadSoname,
             corpus::kRtSoname}) {
-        if (it->second.count(core_lib) != 0) {
+        if (it->second.contains(core_lib)) {
           libs.push_back(core_lib);
         }
       }

@@ -57,7 +57,9 @@ void PrintStudyBanner(const std::string& title) {
       study.ground_truth_mismatches);
   std::printf(
       "analysis: %s constant propagation, %d of %d syscall sites unknown\n",
-      study.analyzer_options.use_dataflow ? "CFG dataflow" : "linear",
+      study.analyzer_options.use_ipa          ? "interprocedural (ipa)"
+      : study.analyzer_options.use_dataflow   ? "CFG dataflow"
+                                              : "linear",
       study.unknown_syscall_sites, study.total_syscall_sites);
   if (study.audit.has_value()) {
     std::printf("%s\n", study.audit->Summary().c_str());

@@ -31,7 +31,7 @@ void CompareClass(const std::set<T>& observed, const std::set<T>& claimed,
                   int unknown_sites, AuditFinding::ApiClass api_class,
                   BinaryAuditResult& out) {
   for (const T& api : observed) {
-    if (claimed.count(api) != 0) {
+    if (claimed.contains(api)) {
       continue;
     }
     if (unknown_sites > 0) {
@@ -44,7 +44,7 @@ void CompareClass(const std::set<T>& observed, const std::set<T>& claimed,
     out.violations.push_back(std::move(finding));
   }
   for (const T& api : claimed) {
-    if (observed.count(api) == 0) {
+    if (!observed.contains(api)) {
       ++out.static_only_apis;
     }
   }
@@ -161,7 +161,7 @@ Result<BinaryAuditResult> FootprintAuditor::AuditExecutable(
   // Paths have no unknown-site escape hatch: the static side sees every
   // rip-relative rodata load the tracer can dereference.
   for (const auto& path : observed.pseudo_paths) {
-    if (claimed.pseudo_paths.count(path) != 0) {
+    if (claimed.pseudo_paths.contains(path)) {
       continue;
     }
     AuditFinding finding;
@@ -170,7 +170,7 @@ Result<BinaryAuditResult> FootprintAuditor::AuditExecutable(
     out.violations.push_back(std::move(finding));
   }
   for (const auto& path : claimed.pseudo_paths) {
-    if (observed.pseudo_paths.count(path) == 0) {
+    if (!observed.pseudo_paths.contains(path)) {
       ++out.static_only_apis;
     }
   }

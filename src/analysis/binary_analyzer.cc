@@ -5,6 +5,7 @@
 
 #include "src/analysis/cfg.h"
 #include "src/analysis/dataflow.h"
+#include "src/analysis/ipa.h"
 #include "src/disasm/decoder.h"
 #include "src/runtime/parallel.h"
 #include "src/util/strings.h"
@@ -110,17 +111,42 @@ BinaryAnalysis::PerExportReachable(runtime::Executor* executor) const {
 
 namespace {
 
+// System V argument registers, slot order matching IpaCallEdge::args.
+constexpr uint8_t kSysVArgRegs[6] = {disasm::kRdi, disasm::kRsi, disasm::kRdx,
+                                     disasm::kRcx, disasm::kR8,  disasm::kR9};
+
 // Interprets one function's decoded body against the per-instruction
 // register facts from the propagation pass: recovers syscall numbers and
 // vectored-call opcodes, records PLT calls, intra-binary callees, and
 // hard-coded pseudo paths. All state questions go through `states`; this
-// loop carries none of its own.
+// loop carries none of its own. With `ipa` non-null (use_ipa), sites whose
+// deciding register holds an argument fact are deferred as pending sites
+// instead of counted unknown, and call edges carry argument bindings for
+// the interprocedural pass.
 void CollectFunctionFacts(const elf::ElfImage& image,
                           const AnalyzerOptions& options,
                           const disasm::SweepResult& sweep,
                           const std::vector<RegState>& states,
                           const std::vector<uint64_t>& function_starts,
-                          FunctionInfo& info, BinaryAnalysis& analysis) {
+                          FunctionInfo& info, BinaryAnalysis& analysis,
+                          IpaFunctionFacts* ipa) {
+  auto defer_site = [&](const RegState& state, IpaPendingSite::Kind kind,
+                        const AbsVal& number) {
+    IpaPendingSite site;
+    site.kind = kind;
+    site.number = number;
+    site.op_rsi = state.regs[disasm::kRsi];
+    site.op_rdi = state.regs[disasm::kRdi];
+    ipa->sites.push_back(site);
+  };
+  auto add_call_edge = [&](const RegState& state, uint64_t callee) {
+    IpaCallEdge edge;
+    edge.callee_vaddr = callee;
+    for (int s = 0; s < 6; ++s) {
+      edge.args[s] = state.regs[kSysVArgRegs[s]];
+    }
+    ipa->edges.push_back(edge);
+  };
   for (size_t i = 0; i < sweep.insns.size(); ++i) {
     const Insn& insn = sweep.insns[i];
     const RegState& state = states[i];
@@ -142,22 +168,30 @@ void CollectFunctionFacts(const elf::ElfImage& image,
           int nr = static_cast<int>(rax.value);
           info.local.syscalls.insert(nr);
           if (options.resolve_wrapper_opcodes) {
-            auto record_op = [&](uint8_t arg_reg, std::set<uint32_t>& ops) {
+            auto record_op = [&](uint8_t arg_reg, std::set<uint32_t>& ops,
+                                 IpaPendingSite::Kind kind) {
               const AbsVal& arg = state.regs[arg_reg];
               if (arg.is_const()) {
                 ops.insert(static_cast<uint32_t>(arg.value));
+              } else if (ipa != nullptr && arg.is_arg()) {
+                defer_site(state, kind, AbsVal::Top());
               } else {
                 ++info.local.unknown_opcode_sites;
               }
             };
             if (nr == kSysIoctl) {
-              record_op(disasm::kRsi, info.local.ioctl_ops);
+              record_op(disasm::kRsi, info.local.ioctl_ops,
+                        IpaPendingSite::Kind::kIoctlOp);
             } else if (nr == kSysFcntl) {
-              record_op(disasm::kRsi, info.local.fcntl_ops);
+              record_op(disasm::kRsi, info.local.fcntl_ops,
+                        IpaPendingSite::Kind::kFcntlOp);
             } else if (nr == kSysPrctl) {
-              record_op(disasm::kRdi, info.local.prctl_ops);
+              record_op(disasm::kRdi, info.local.prctl_ops,
+                        IpaPendingSite::Kind::kPrctlOp);
             }
           }
+        } else if (ipa != nullptr && rax.is_arg()) {
+          defer_site(state, IpaPendingSite::Kind::kSyscallNumber, rax);
         } else {
           ++info.local.unknown_syscall_sites;
           ++analysis.unknown_syscall_sites;
@@ -172,6 +206,8 @@ void CollectFunctionFacts(const elf::ElfImage& image,
           const AbsVal& rax = state.regs[disasm::kRax];
           if (rax.is_const()) {
             info.local.int80_syscalls.insert(static_cast<int>(rax.value));
+          } else if (ipa != nullptr && rax.is_arg()) {
+            defer_site(state, IpaPendingSite::Kind::kInt80Number, rax);
           } else {
             ++info.local.unknown_syscall_sites;
             ++analysis.unknown_syscall_sites;
@@ -185,26 +221,35 @@ void CollectFunctionFacts(const elf::ElfImage& image,
         if (plt_symbol.has_value()) {
           info.plt_calls.insert(*plt_symbol);
           if (options.resolve_wrapper_opcodes) {
-            auto record_op = [&](uint8_t arg_reg, std::set<uint32_t>& ops) {
+            auto record_op = [&](uint8_t arg_reg, std::set<uint32_t>& ops,
+                                 IpaPendingSite::Kind kind) {
               const AbsVal& arg = state.regs[arg_reg];
               if (arg.is_const()) {
                 ops.insert(static_cast<uint32_t>(arg.value));
+              } else if (ipa != nullptr && arg.is_arg()) {
+                defer_site(state, kind, AbsVal::Top());
               } else {
                 ++info.local.unknown_opcode_sites;
               }
             };
             if (*plt_symbol == "ioctl") {
-              record_op(disasm::kRsi, info.local.ioctl_ops);
+              record_op(disasm::kRsi, info.local.ioctl_ops,
+                        IpaPendingSite::Kind::kIoctlOp);
             } else if (*plt_symbol == "fcntl" || *plt_symbol == "fcntl64") {
-              record_op(disasm::kRsi, info.local.fcntl_ops);
+              record_op(disasm::kRsi, info.local.fcntl_ops,
+                        IpaPendingSite::Kind::kFcntlOp);
             } else if (*plt_symbol == "prctl") {
-              record_op(disasm::kRdi, info.local.prctl_ops);
+              record_op(disasm::kRdi, info.local.prctl_ops,
+                        IpaPendingSite::Kind::kPrctlOp);
             } else if (*plt_symbol == "syscall") {
               // long syscall(long number, ...): number in rdi.
               ++analysis.total_syscall_sites;
               const AbsVal& rdi = state.regs[disasm::kRdi];
               if (rdi.is_const()) {
                 info.local.syscalls.insert(static_cast<int>(rdi.value));
+              } else if (ipa != nullptr && rdi.is_arg()) {
+                defer_site(state, IpaPendingSite::Kind::kPltSyscallNumber,
+                           rdi);
               } else {
                 ++info.local.unknown_syscall_sites;
                 ++analysis.unknown_syscall_sites;
@@ -212,13 +257,40 @@ void CollectFunctionFacts(const elf::ElfImage& image,
             }
           }
         } else if (std::binary_search(function_starts.begin(),
-                                      function_starts.end(), insn.target) &&
-                   insn.target != info.vaddr) {
-          info.local_callees.insert(insn.target);
+                                      function_starts.end(), insn.target)) {
+          if (insn.target != info.vaddr) {
+            info.local_callees.insert(insn.target);
+          }
+          if (ipa != nullptr) {
+            // Self edges are recorded too: they make the recursion visible
+            // to the SCC condensation.
+            add_call_edge(state, insn.target);
+          }
         }
         break;
       }
       case InsnKind::kCallIndirect:
+        if (ipa != nullptr && insn.target != 0) {
+          // Rip-relative `call [rip+disp]`: the callee pointer lives at a
+          // link-time-constant address. If the slot holds a known function
+          // start, the edge is as good as a direct call.
+          auto slot = image.DataAtVaddr(insn.target, 8);
+          if (slot.size() == 8) {
+            uint64_t ptr = 0;
+            for (int b = 7; b >= 0; --b) {
+              ptr = (ptr << 8) | slot[static_cast<size_t>(b)];
+            }
+            if (std::binary_search(function_starts.begin(),
+                                   function_starts.end(), ptr)) {
+              if (ptr != info.vaddr) {
+                info.local_callees.insert(ptr);
+              }
+              add_call_edge(state, ptr);
+            }
+          }
+        }
+        ++info.local.indirect_call_sites;
+        break;
       case InsnKind::kJmpIndirect:
         ++info.local.indirect_call_sites;
         break;
@@ -256,9 +328,17 @@ Result<BinaryAnalysis> BinaryAnalyzer::Analyze(const elf::ElfImage& image,
     function_starts.push_back(sym->value);
   }
 
-  const PropagationMode mode = options.use_dataflow
+  // The IPA tier needs merge-correct intra-function states to trust an
+  // argument fact on every path, so use_ipa implies the dataflow fixpoint.
+  const PropagationMode mode = options.use_dataflow || options.use_ipa
                                    ? PropagationMode::kDataflow
                                    : PropagationMode::kLinear;
+  RegState entry_state = RegState::AllTop();
+  if (options.use_ipa) {
+    for (uint8_t reg : kSysVArgRegs) {
+      entry_state.regs[reg] = AbsVal::Arg(reg);
+    }
+  }
 
   // One set of decode/CFG/dataflow buffers serves every function body; the
   // Into-variants clear but never shrink, so the per-function allocation
@@ -268,12 +348,19 @@ Result<BinaryAnalysis> BinaryAnalyzer::Analyze(const elf::ElfImage& image,
   std::vector<RegState> states;
   DataflowScratch scratch;
   analysis.functions_.reserve(funcs.size());
+  std::vector<IpaFunctionFacts> ipa_facts;
+  if (options.use_ipa) {
+    ipa_facts.reserve(funcs.size());
+  }
 
   for (const auto* sym : funcs) {
     FunctionInfo info;
     info.name = sym->name;
     info.vaddr = sym->value;
     info.size = sym->size;
+    if (options.use_ipa) {
+      ipa_facts.emplace_back();  // stays parallel even for skipped bodies
+    }
 
     auto body = image.DataAtVaddr(sym->value, sym->size);
     if (body.empty() && sym->size > 0) {
@@ -288,11 +375,20 @@ Result<BinaryAnalysis> BinaryAnalyzer::Analyze(const elf::ElfImage& image,
 
     ControlFlowGraph::BuildInto(sweep, cfg);
     info.basic_block_count = cfg.block_count();
-    ComputeInsnStatesInto(sweep, cfg, mode, scratch, states);
+    ComputeInsnStatesInto(sweep, cfg, mode, entry_state, scratch, states);
     CollectFunctionFacts(image, options, sweep, states, function_starts,
-                         info, analysis);
+                         info, analysis,
+                         options.use_ipa ? &ipa_facts.back() : nullptr);
 
     analysis.functions_.push_back(std::move(info));
+  }
+
+  if (options.use_ipa) {
+    IpaStats ipa_stats = PropagateInterprocedural(
+        ipa_facts, analysis.functions_, analysis.exports_,
+        analysis.is_executable_, analysis.entry_,
+        std::max(0, options.ipa_max_depth));
+    analysis.unknown_syscall_sites += ipa_stats.unknown_syscall_sites_added;
   }
 
   for (size_t i = 0; i < analysis.functions_.size(); ++i) {

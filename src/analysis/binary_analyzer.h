@@ -12,7 +12,12 @@
 //      prctl, direct or via their libc PLT wrappers) recover the opcode from
 //      the argument register; at PLT calls record the imported symbol; at
 //      rip-relative string loads record hard-coded pseudo-file paths.
-//   4. Build the intra-binary call graph (call/jmp rel32 between functions).
+//   4. Build the intra-binary call graph (call/jmp rel32 between functions,
+//      plus rip-relative-resolvable indirect calls under use_ipa).
+//   5. Under AnalyzerOptions::use_ipa, run the interprocedural constant
+//      back-tracking pass (ipa.h): sites whose deciding register is an
+//      incoming argument are resolved through wrapper chains from their
+//      call sites instead of counted unknown.
 //
 // Reachability and cross-library resolution live in library_resolver.h; the
 // differential soundness audit against the dynamic tracer lives in audit.h.
@@ -121,6 +126,15 @@ struct AnalyzerOptions {
   // kept benchmarkable as the ablation baseline: sound after the
   // branch-target fix, but every merge point degrades to unknown.
   bool use_dataflow = true;
+  // Interprocedural constant back-tracking over the intra-binary call
+  // graph (ipa.h): argument facts are seeded at function entries, wrapper
+  // summaries computed bottom-up over the SCC condensation, and call-site
+  // constants propagated through wrapper chains. Implies CFG dataflow
+  // propagation regardless of use_dataflow.
+  bool use_ipa = false;
+  // Wrapper-chain hops a deferred site may be re-exposed through before
+  // the interprocedural pass gives up (ablation lever for use_ipa).
+  int ipa_max_depth = 4;
 };
 
 class BinaryAnalyzer {

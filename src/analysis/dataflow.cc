@@ -126,9 +126,9 @@ namespace {
 // ⊤ at every in-function branch target (code reachable from elsewhere) and
 // after instructions that never fall through.
 void LinearStates(const disasm::SweepResult& sweep, const ControlFlowGraph& cfg,
-                  std::vector<RegState>& states) {
+                  const RegState& entry_state, std::vector<RegState>& states) {
   states.assign(sweep.insns.size(), RegState::AllTop());
-  RegState state = RegState::AllTop();
+  RegState state = entry_state;
   for (size_t i = 0; i < sweep.insns.size(); ++i) {
     if (cfg.IsBranchTarget(i)) {
       state.SetAllTop();
@@ -154,8 +154,8 @@ void LinearStates(const disasm::SweepResult& sweep, const ControlFlowGraph& cfg,
 // the same answer under any processing order (joins are monotone on a
 // finite lattice), and a stack needs no deque segment allocations.
 void DataflowStates(const disasm::SweepResult& sweep,
-                    const ControlFlowGraph& cfg, DataflowScratch& scratch,
-                    std::vector<RegState>& states) {
+                    const ControlFlowGraph& cfg, const RegState& entry_state,
+                    DataflowScratch& scratch, std::vector<RegState>& states) {
   const size_t block_count = cfg.block_count();
   states.clear();
   if (block_count == 0) {
@@ -163,8 +163,9 @@ void DataflowStates(const disasm::SweepResult& sweep,
   }
   scratch.block_in.assign(block_count, RegState::AllBottom());
   scratch.block_out.assign(block_count, RegState::AllBottom());
-  // Register contents at function entry are the caller's: unknown.
-  scratch.block_in[0] = RegState::AllTop();
+  // Register contents at function entry are the caller's: all-⊤, unless the
+  // IPA tier asked for argument facts to be threaded through.
+  scratch.block_in[0] = entry_state;
 
   scratch.worklist.clear();
   scratch.queued.assign(block_count, false);
@@ -220,11 +221,19 @@ void ComputeInsnStatesInto(const disasm::SweepResult& sweep,
                            const ControlFlowGraph& cfg, PropagationMode mode,
                            DataflowScratch& scratch,
                            std::vector<RegState>& states) {
+  ComputeInsnStatesInto(sweep, cfg, mode, RegState::AllTop(), scratch, states);
+}
+
+void ComputeInsnStatesInto(const disasm::SweepResult& sweep,
+                           const ControlFlowGraph& cfg, PropagationMode mode,
+                           const RegState& entry_state,
+                           DataflowScratch& scratch,
+                           std::vector<RegState>& states) {
   if (mode == PropagationMode::kLinear) {
-    LinearStates(sweep, cfg, states);
+    LinearStates(sweep, cfg, entry_state, states);
     return;
   }
-  DataflowStates(sweep, cfg, scratch, states);
+  DataflowStates(sweep, cfg, entry_state, scratch, states);
 }
 
 }  // namespace lapis::analysis

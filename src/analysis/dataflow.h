@@ -36,8 +36,14 @@
 namespace lapis::analysis {
 
 // Abstract value of one register.
+//
+// kArg(r) is the interprocedural fact "still exactly the value the caller
+// passed in argument register r". It is seeded into the entry state only by
+// the IPA tier (binary_analyzer with AnalyzerOptions::use_ipa); the join is
+// structural, so two paths agreeing on the same incoming argument keep the
+// fact and disagreeing paths drop to ⊤ like any other mismatch.
 struct AbsVal {
-  enum class Kind : uint8_t { kBottom, kConst, kRodataPtr, kTop };
+  enum class Kind : uint8_t { kBottom, kConst, kRodataPtr, kTop, kArg };
   Kind kind = Kind::kTop;
   int64_t value = 0;
 
@@ -47,9 +53,11 @@ struct AbsVal {
   static AbsVal Rodata(uint64_t vaddr) {
     return AbsVal{Kind::kRodataPtr, static_cast<int64_t>(vaddr)};
   }
+  static AbsVal Arg(uint8_t reg) { return AbsVal{Kind::kArg, reg}; }
 
   bool is_const() const { return kind == Kind::kConst; }
   bool is_rodata() const { return kind == Kind::kRodataPtr; }
+  bool is_arg() const { return kind == Kind::kArg; }
 
   bool operator==(const AbsVal& other) const {
     return kind == other.kind &&
@@ -111,6 +119,17 @@ struct DataflowScratch {
 // capacity kept) using `scratch` for the fixpoint's working set.
 void ComputeInsnStatesInto(const disasm::SweepResult& sweep,
                            const ControlFlowGraph& cfg, PropagationMode mode,
+                           DataflowScratch& scratch,
+                           std::vector<RegState>& states);
+
+// Variant with an explicit function-entry register state (the IPA tier
+// seeds AbsVal::Arg facts for the six System V argument registers; the
+// plain overloads seed all-⊤). In linear mode the entry state survives
+// only until the first branch target — the conservative ⊤ reset applies
+// to argument facts like any other.
+void ComputeInsnStatesInto(const disasm::SweepResult& sweep,
+                           const ControlFlowGraph& cfg, PropagationMode mode,
+                           const RegState& entry_state,
                            DataflowScratch& scratch,
                            std::vector<RegState>& states);
 

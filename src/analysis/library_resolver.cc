@@ -22,7 +22,7 @@ Status LibraryResolver::AddLibrary(std::shared_ptr<const BinaryAnalysis> library
   if (soname.empty()) {
     return InvalidArgumentError("library has no soname");
   }
-  if (libraries_.count(soname) != 0) {
+  if (libraries_.contains(soname)) {
     return FailedPreconditionError("library already registered: " + soname);
   }
   LibEntry entry;

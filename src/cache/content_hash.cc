@@ -43,6 +43,8 @@ uint64_t ConfigFingerprint(const analysis::AnalyzerOptions& options,
   h = HashU64(options.resolve_wrapper_opcodes ? 1 : 0, h);
   h = HashU64(options.collect_pseudo_paths ? 1 : 0, h);
   h = HashU64(options.use_dataflow ? 1 : 0, h);
+  h = HashU64(options.use_ipa ? 1 : 0, h);
+  h = HashU64(static_cast<uint64_t>(options.ipa_max_depth), h);
   return h;
 }
 

@@ -99,6 +99,14 @@ void FunctionBuilder::CallLocal(uint32_t function_index) {
   PutU32(0);
 }
 
+void FunctionBuilder::TailJmpImport(uint32_t import_index) {
+  PutU8(0xe9);
+  relocs_.push_back(elf::TextReloc{elf::TextReloc::Kind::kPltCall,
+                                   static_cast<uint32_t>(body_.size()),
+                                   import_index});
+  PutU32(0);
+}
+
 void FunctionBuilder::JccShortForward(uint8_t cc, uint8_t skip) {
   PutU8(static_cast<uint8_t>(0x70 | (cc & 0x0f)));
   PutU8(skip);

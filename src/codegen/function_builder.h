@@ -48,6 +48,10 @@ class FunctionBuilder {
   void CallImport(uint32_t import_index);
   // call rel32 to another function in the same binary.
   void CallLocal(uint32_t function_index);
+  // jmp rel32 through the PLT slot of `import_index` — the tail-call
+  // forwarding idiom (`syscall(2)`-style wrappers that leave every argument
+  // register untouched and jump straight into libc).
+  void TailJmpImport(uint32_t import_index);
 
   // jcc rel8 (70+cc) skipping `skip` bytes of code emitted after it. The
   // caller emits exactly `skip` bytes next; the branch target is the first

@@ -8,7 +8,7 @@ namespace {
 
 bool KindEvaluated(const CompletenessOptions& options, ApiKind kind) {
   return options.evaluated_kinds.empty() ||
-         options.evaluated_kinds.count(kind) != 0;
+         options.evaluated_kinds.contains(kind);
 }
 
 // Weighted completeness from a per-package "self-supported" vector,
@@ -146,7 +146,7 @@ std::vector<PathPoint> GreedyCompletenessPathMultiKind(
   std::vector<uint32_t> missing(dataset.package_count(), 0);
   for (PackageId id = 0; id < dataset.package_count(); ++id) {
     for (const ApiId& api : dataset.Footprint(id)) {
-      if (kinds.count(api.kind) != 0) {
+      if (kinds.contains(api.kind)) {
         ++missing[id];
       }
     }

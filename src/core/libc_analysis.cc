@@ -69,7 +69,7 @@ LibcVariantEvaluation EvaluateLibcVariant(const StudyDataset& dataset,
   // supported if the variant provides printf.
   std::set<ApiId> normalized_supported = raw_supported;
   for (const auto& [gnu_symbol, plain_symbol] : profile.normalization) {
-    if (profile.exported_symbols.count(plain_symbol) != 0) {
+    if (profile.exported_symbols.contains(plain_symbol)) {
       normalized_supported.insert(ApiId{ApiKind::kLibcFn, gnu_symbol});
     }
   }

@@ -198,6 +198,21 @@ Result<std::vector<SynthesizedBinary>> DistroSynthesizer::CoreLibraries()
     builder.AddFunction(std::move(def));
   }
 
+  // Real libc also exports syscall(2) itself: number in rdi, forwarded to
+  // rax. Kept outside the universe tables (it wraps no fixed number, so it
+  // has no importance row); packages reach it only through tail-forwarding
+  // wrapper clones. Its body is the canonical argument-to-number move that
+  // no intra-function tier can pin down — and since the function is
+  // exported, even the IPA tier must leave the site unknown here and
+  // attribute numbers at the callers that pass constants.
+  {
+    FunctionBuilder fn("syscall");
+    fn.MovRegReg(disasm::kRax, disasm::kRdi);
+    fn.Syscall();
+    fn.Ret();
+    builder.AddFunction(fn.Finish(/*exported=*/true));
+  }
+
   LAPIS_ASSIGN_OR_RETURN(auto bytes, builder.Build());
   SynthesizedBinary libc;
   libc.name = kLibcSoname;
@@ -297,6 +312,15 @@ Result<std::vector<SynthesizedBinary>> DistroSynthesizer::PackageBinaries(
 
     FunctionBuilder main_fn("main");
     main_fn.EmitPrologue();
+
+    // Wrapper functions land at fixed indexes right after main (index 1):
+    // the syscall clone first, then the two ioctl helpers.
+    const bool emit_sys_wrapper = exe == 0 && plan.wrapper_syscall_calls > 0 &&
+                                  plan.syscall_prefix_rank >= 1;
+    const bool emit_ioctl_helpers =
+        exe == 0 && plan.wrapper_two_hop_ioctl && !plan.ioctl_ranks.empty();
+    const uint32_t wrapper_index = 2;
+    const uint32_t helper1_index = wrapper_index + (emit_sys_wrapper ? 1u : 0u);
 
     if (exe == 0) {
       // Universal fortify imports: every Ubuntu-built binary carries some.
@@ -406,6 +430,25 @@ Result<std::vector<SynthesizedBinary>> DistroSynthesizer::PackageBinaries(
           EmitGuardedSyscall(main_fn, guarded_nr);
         }
       }
+      // Wrapper-style sites: the number/opcode is a constant here at the
+      // call site but only an incoming argument inside the callee, so the
+      // intra-function tiers count the callee's site unknown while the IPA
+      // tier back-tracks it to these constants. Values are the rank-1
+      // syscall and the rank-0 assigned ioctl opcode — both already in the
+      // package footprint, so only unknown-site counters move across tiers.
+      if (emit_sys_wrapper) {
+        uint32_t nr = static_cast<uint32_t>(spec_.syscall_rank_order[0]);
+        for (int c = 0; c < plan.wrapper_syscall_calls; ++c) {
+          main_fn.MovRegImm32(disasm::kRdi, nr);
+          main_fn.CallLocal(wrapper_index);
+        }
+      }
+      if (emit_ioctl_helpers) {
+        main_fn.MovRegImm32(disasm::kRsi,
+                            ioctl_ops[plan.ioctl_ranks[0]].code);
+        main_fn.XorRegReg(disasm::kRdi);
+        main_fn.CallLocal(helper1_index);
+      }
     } else {
       // Secondary executables are light: a few common calls.
       for (size_t i = 0; i < 4 && i < plan.libc_common_ranks.size(); ++i) {
@@ -425,6 +468,40 @@ Result<std::vector<SynthesizedBinary>> DistroSynthesizer::PackageBinaries(
     uint32_t start_index =
         builder.AddFunction(start_fn.Finish(/*exported=*/false));
     builder.AddFunction(main_fn.Finish(/*exported=*/false));
+    if (emit_sys_wrapper) {
+      // Local syscall(2) clone: number arrives in rdi and either moves into
+      // rax before a direct `syscall` (optionally across a branch merge, so
+      // recovery needs the CFG join *and* the argument fact) or tail-jumps
+      // into libc's syscall@plt with every register untouched.
+      FunctionBuilder wrapper_fn("__syscall_thunk");
+      if (plan.wrapper_tail_plt) {
+        wrapper_fn.TailJmpImport(builder.AddImport("syscall"));
+      } else {
+        wrapper_fn.EmitPrologue();
+        wrapper_fn.MovRegReg(disasm::kRax, disasm::kRdi);
+        if (plan.wrapper_guarded) {
+          wrapper_fn.JccShortForward(0x5, 1);  // jne over the nop
+          wrapper_fn.Nop(1);
+        }
+        wrapper_fn.Syscall();
+        wrapper_fn.EmitEpilogue();
+      }
+      builder.AddFunction(wrapper_fn.Finish(/*exported=*/false));
+    }
+    if (emit_ioctl_helpers) {
+      // Two-hop opcode forwarding: main pins the opcode, helper1 passes its
+      // arguments through untouched, helper2 issues the vectored call.
+      FunctionBuilder helper1_fn("__ioctl_helper1");
+      helper1_fn.EmitPrologue();
+      helper1_fn.CallLocal(helper1_index + 1);
+      helper1_fn.EmitEpilogue();
+      builder.AddFunction(helper1_fn.Finish(/*exported=*/false));
+      FunctionBuilder helper2_fn("__ioctl_helper2");
+      helper2_fn.EmitPrologue();
+      helper2_fn.CallImport(builder.AddImport("ioctl"));
+      helper2_fn.EmitEpilogue();
+      builder.AddFunction(helper2_fn.Finish(/*exported=*/false));
+    }
     if (exe == 0 && prng.NextBool(0.35)) {
       // Dead code: statically linked leftovers that no call path reaches.
       // Call-graph reachability (the paper's methodology) must exclude its

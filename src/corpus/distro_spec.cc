@@ -167,7 +167,7 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
   // distribution reproduces their published unweighted value.
   for (const auto& anchor : UnweightedAnchors()) {
     if (anchor.unweighted_importance < 0.01 &&
-        base.count(anchor.syscall_nr) == 0) {
+        !base.contains(anchor.syscall_nr)) {
       tail.insert(anchor.syscall_nr);
     }
   }
@@ -176,7 +176,7 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
       break;
     }
     auto nr = SyscallNumber(name);
-    if (nr.has_value() && base.count(*nr) == 0) {
+    if (nr.has_value() && !base.contains(*nr)) {
       tail.insert(*nr);
     }
   }
@@ -184,7 +184,7 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
   // non-base syscalls not already in the tail.
   for (int nr = kSyscallCount - 1; nr >= 0 && tail.size() < kTailCount;
        --nr) {
-    if (base.count(nr) == 0) {
+    if (!base.contains(nr)) {
       tail.insert(nr);
     }
   }
@@ -212,7 +212,7 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
 
   std::vector<int> tier_b;
   for (int nr = 0; nr < kSyscallCount; ++nr) {
-    if (base.count(nr) == 0 && tail.count(nr) == 0) {
+    if (!base.contains(nr) && !tail.contains(nr)) {
       tier_b.push_back(nr);
     }
   }
@@ -300,6 +300,24 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
         spec.packages[index].guarded_syscall_sites =
             1 + static_cast<int>(guard_prng.NextBelow(2));
       }
+    }
+  }
+  // Wrapper-style sites only the interprocedural tier recovers, from a
+  // second forked generator for the same reason. Drawn unconditionally here
+  // (prefix ranks and ioctl assignments happen later); the synthesizer
+  // skips the emission when a package lacks the prefix syscall or assigned
+  // ioctl opcode the wrapper would forward.
+  {
+    Prng wrapper_prng(options.seed ^ 0x6970615f77726170ULL);
+    for (size_t index : app_indexes) {
+      PackagePlan& plan = spec.packages[index];
+      if (wrapper_prng.NextBool(0.30)) {
+        plan.wrapper_syscall_calls =
+            1 + static_cast<int>(wrapper_prng.NextBelow(2));
+        plan.wrapper_tail_plt = wrapper_prng.NextBool(0.40);
+        plan.wrapper_guarded = wrapper_prng.NextBool(0.35);
+      }
+      plan.wrapper_two_hop_ioctl = wrapper_prng.NextBool(0.25);
     }
   }
 
@@ -524,8 +542,8 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
     // Anchored placement: most-demanded (highest unweighted target) first.
     std::vector<UnweightedAnchor> anchors;
     for (const auto& anchor : UnweightedAnchors()) {
-      if (base.count(anchor.syscall_nr) == 0 &&
-          tail.count(anchor.syscall_nr) == 0) {
+      if (!base.contains(anchor.syscall_nr) &&
+          !tail.contains(anchor.syscall_nr)) {
         anchors.push_back(anchor);
       }
     }
@@ -559,7 +577,7 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
     // order.
     size_t cursor = 0;
     for (int nr : tier_b) {
-      if (placed.count(nr) != 0) {
+      if (placed.contains(nr)) {
         continue;
       }
       while (cursor < rank_slots.size() && rank_slots[cursor] != -1) {
@@ -580,7 +598,7 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
     std::vector<int> tail_order;
     std::set<int> tail_done;
     auto push_tail = [&](int nr) {
-      if (tail.count(nr) != 0 && tail_done.insert(nr).second) {
+      if (tail.contains(nr) && tail_done.insert(nr).second) {
         tail_order.push_back(nr);
       }
     };
@@ -667,12 +685,12 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
       }
     }
     for (const auto& anchor : UnweightedAnchors()) {
-      if (tail.count(anchor.syscall_nr) == 0 ||
-          planned.count(anchor.syscall_nr) != 0) {
+      if (!tail.contains(anchor.syscall_nr) ||
+          planned.contains(anchor.syscall_nr)) {
         continue;
       }
       double adoption = anchor.unweighted_importance;
-      if (modern_variants.count(anchor.syscall_nr) != 0) {
+      if (modern_variants.contains(anchor.syscall_nr)) {
         adoption = std::min(0.5, adoption * options.modern_variant_adoption);
       }
       size_t count = static_cast<size_t>(
@@ -687,12 +705,12 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
     size_t fill_index = 0;
     size_t fill_total = 0;
     for (int nr : tail) {
-      if (planned.count(nr) == 0 && unused.count(nr) == 0) {
+      if (!planned.contains(nr) && !unused.contains(nr)) {
         ++fill_total;
       }
     }
     for (int nr : tail) {
-      if (planned.count(nr) != 0 || unused.count(nr) != 0) {
+      if (planned.contains(nr) || unused.contains(nr)) {
         continue;
       }
       double t = fill_total <= 1
@@ -733,8 +751,8 @@ Result<DistroSpec> BuildDistroSpec(const DistroOptions& options) {
             270) {
           break;
         }
-        if (tail.count(nr) != 0 && unused.count(nr) == 0 &&
-            plan_owned.count(nr) == 0 && have.insert(nr).second) {
+        if (tail.contains(nr) && !unused.contains(nr) &&
+            !plan_owned.contains(nr) && have.insert(nr).second) {
           plan.extra_syscalls.push_back(nr);
         }
       }

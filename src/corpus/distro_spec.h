@@ -96,6 +96,22 @@ struct PackagePlan {
   // carries the same number, so CFG dataflow recovers it while the linear
   // ablation must degrade the merge point to unknown.
   int guarded_syscall_sites = 0;
+  // Wrapper-style sites only the interprocedural tier recovers. The main
+  // executable gains a local `syscall(2)` clone (`mov rax, rdi; syscall`)
+  // called with the rank-1 number — so the recovered *sets* are identical
+  // in every tier and only the unknown-site counters move:
+  //   wrapper_syscall_calls — call sites into the clone from main;
+  //   wrapper_tail_plt     — the clone instead tail-jumps into libc's
+  //                          syscall@plt with the number still in rdi;
+  //   wrapper_guarded      — the clone carries a branch merge before its
+  //                          syscall (needs CFG join *and* IPA);
+  //   wrapper_two_hop_ioctl — a two-hop helper chain forwarding the
+  //                          rank-0 assigned ioctl opcode
+  //                          (main → helper1 → helper2 → ioctl@plt).
+  int wrapper_syscall_calls = 0;
+  bool wrapper_tail_plt = false;
+  bool wrapper_guarded = false;
+  bool wrapper_two_hop_ioctl = false;
 
   std::vector<std::string> depends;       // package names
   std::string interpreter_package;        // for script packages

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
+#include <string>
 
 #include "src/analysis/binary_analyzer.h"
 #include "src/analysis/library_resolver.h"
@@ -211,7 +213,17 @@ std::vector<core::ApiId> ToApiIds(const LibraryResolver::Resolution& res,
   }
   auto libc_exports = res.used_exports.find(kLibcSoname);
   if (libc_exports != res.used_exports.end()) {
+    // The libc-symbol API surface (§5, Table 7) is the 1274-entry universe.
+    // libc also exports the non-universe `syscall` clone that tail-plt
+    // wrappers jump through; it carries no importance row and no variant
+    // lists it, so it must not enter the dataset as a libc-symbol API.
+    static const std::set<std::string>* universe_names = [] {
+      auto* names = new std::set<std::string>();
+      for (const auto& spec : LibcUniverse()) names->insert(spec.name);
+      return names;
+    }();
     for (const auto& symbol : libc_exports->second) {
+      if (!universe_names->contains(symbol)) continue;
       out.push_back(core::ApiId{core::ApiKind::kLibcFn,
                                 libc_interner.Intern(symbol)});
     }

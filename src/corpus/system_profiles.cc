@@ -78,7 +78,7 @@ core::SystemProfile BuildSystemProfile(const core::StudyDataset& dataset,
     if (profile.supported.size() >= plan.supported_count) {
       break;
     }
-    if (gaps.count(api.code) != 0 || skip.count(api.code) != 0) {
+    if (gaps.contains(api.code) || skip.contains(api.code)) {
       continue;
     }
     profile.supported.insert(api);
@@ -120,7 +120,7 @@ core::LibcVariantProfile BuildLibcVariantProfile(
   }
 
   for (const LibcSymbolSpec& spec : LibcUniverse()) {
-    if (missing.count(spec.name) != 0) {
+    if (missing.contains(spec.name)) {
       continue;
     }
     if (!plan.exports_chk_variants && !spec.chk_base.empty()) {

@@ -76,7 +76,7 @@ Status Table::BuildIndex(size_t col) {
   return Status::Ok();
 }
 
-bool Table::HasIndex(size_t col) const { return indexes_.count(col) != 0; }
+bool Table::HasIndex(size_t col) const { return indexes_.contains(col); }
 
 const std::vector<size_t>& Table::Lookup(size_t col, int64_t key) const {
   auto idx = indexes_.find(col);
@@ -160,7 +160,7 @@ Result<Table> Table::Deserialize(ByteReader& reader) {
 
 Result<Table*> Database::CreateTable(std::string table_name,
                                      std::vector<ColumnDef> columns) {
-  if (by_name_.count(table_name) != 0) {
+  if (by_name_.contains(table_name)) {
     return FailedPreconditionError("duplicate table: " + table_name);
   }
   auto table = std::make_unique<Table>(table_name, std::move(columns));

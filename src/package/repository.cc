@@ -28,7 +28,7 @@ Result<PackageId> Repository::AddPackage(Package package) {
   if (package.name.empty()) {
     return InvalidArgumentError("package name must not be empty");
   }
-  if (by_name_.count(package.name) != 0) {
+  if (by_name_.contains(package.name)) {
     return FailedPreconditionError("duplicate package: " + package.name);
   }
   PackageId id = static_cast<PackageId>(packages_.size());

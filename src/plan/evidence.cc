@@ -27,7 +27,7 @@ EvidenceClass ClassifyApi(const AuditEvidence& evidence, core::ApiId api) {
   if (!evidence.CoversKind(api.kind)) {
     return EvidenceClass::kNoEvidence;
   }
-  if (evidence.observed.count(api) != 0) {
+  if (evidence.observed.contains(api)) {
     return EvidenceClass::kMustImplement;
   }
   return EvidenceClass::kStubSafe;

@@ -14,7 +14,7 @@ constexpr uint32_t kUncoverable = UINT32_MAX;
 constexpr double kEps = 1e-9;
 
 bool KindEvaluated(const std::set<core::ApiKind>& kinds, core::ApiKind kind) {
-  return kinds.empty() || kinds.count(kind) != 0;
+  return kinds.empty() || kinds.contains(kind);
 }
 
 // The shared problem formulation all three solvers run on. Indexes the
@@ -64,11 +64,11 @@ Instance BuildInstance(const PlannerInput& input) {
         if (!KindEvaluated(input.evaluated_kinds, api.kind)) {
           continue;
         }
-        if (input.already_supported.count(api) != 0) {
+        if (input.already_supported.contains(api)) {
           continue;
         }
         if (!input.candidate_whitelist.empty() &&
-            input.candidate_whitelist.count(api) == 0) {
+            !input.candidate_whitelist.contains(api)) {
           coverable[p] = false;
           continue;
         }

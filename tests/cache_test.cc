@@ -111,6 +111,25 @@ TEST(ContentHash, UseDataflowFlipChangesFingerprint) {
             cache::ConfigFingerprint(linear, EntryKind::kResolution));
 }
 
+TEST(ContentHash, UseIpaFlipChangesFingerprint) {
+  analysis::AnalyzerOptions dataflow;
+  analysis::AnalyzerOptions ipa;
+  ipa.use_ipa = true;
+  EXPECT_NE(cache::ConfigFingerprint(dataflow, EntryKind::kAnalysis),
+            cache::ConfigFingerprint(ipa, EntryKind::kAnalysis));
+  EXPECT_NE(cache::ConfigFingerprint(dataflow, EntryKind::kResolution),
+            cache::ConfigFingerprint(ipa, EntryKind::kResolution));
+}
+
+TEST(ContentHash, IpaMaxDepthChangesFingerprint) {
+  analysis::AnalyzerOptions deep;
+  deep.use_ipa = true;
+  analysis::AnalyzerOptions flat = deep;
+  flat.ipa_max_depth = 1;
+  EXPECT_NE(cache::ConfigFingerprint(deep, EntryKind::kAnalysis),
+            cache::ConfigFingerprint(flat, EntryKind::kAnalysis));
+}
+
 TEST(ContentHash, SchemaVersionBumpChangesFingerprint) {
   analysis::AnalyzerOptions options;
   EXPECT_NE(cache::ConfigFingerprint(options, EntryKind::kAnalysis,
@@ -556,6 +575,58 @@ TEST(CacheStudyTest, MethodologyFlipForcesRecompute) {
             baseline.value().resolutions_from_cache);
   EXPECT_EQ(linear.value().cache_stats.hits,
             baseline.value().cache_stats.hits + 1);
+}
+
+TEST(CacheStudyTest, IpaTierFlipMissesButNeverCorrupts) {
+  // A warm dataflow cache must MISS under the ipa tier (fingerprints fold
+  // use_ipa), never serve stale dataflow payloads into the ipa study — and
+  // vice versa. Correctness oracle: the no-cache run of each tier.
+  corpus::StudyOptions options = corpus::SmallStudyOptions();
+
+  options.analyzer.use_ipa = true;
+  auto ipa_reference = corpus::RunStudy(options);
+  ASSERT_TRUE(ipa_reference.ok()) << ipa_reference.status().ToString();
+
+  // Cold ipa baseline on its own cache: within-run content-level dedup
+  // makes the from-cache counters nonzero even cold.
+  auto ipa_cache = FootprintCache::Open("");
+  ASSERT_TRUE(ipa_cache.ok());
+  options.cache = ipa_cache.value().get();
+  auto ipa_baseline = corpus::RunStudy(options);
+  ASSERT_TRUE(ipa_baseline.ok()) << ipa_baseline.status().ToString();
+
+  // Warm a cache with the dataflow tier, then flip to ipa on top of it.
+  auto cache = FootprintCache::Open("");
+  ASSERT_TRUE(cache.ok());
+  options.cache = cache.value().get();
+  options.analyzer.use_ipa = false;
+  auto dataflow = corpus::RunStudy(options);
+  ASSERT_TRUE(dataflow.ok()) << dataflow.status().ToString();
+
+  options.analyzer.use_ipa = true;
+  auto ipa_on_warm = corpus::RunStudy(options);
+  ASSERT_TRUE(ipa_on_warm.ok()) << ipa_on_warm.status().ToString();
+  // Exactly as many hits as on an empty cache, plus the tier-independent
+  // survey entry — no dataflow analysis was reused.
+  EXPECT_EQ(ipa_on_warm.value().analyses_from_cache,
+            ipa_baseline.value().analyses_from_cache);
+  EXPECT_EQ(ipa_on_warm.value().cache_stats.hits,
+            ipa_baseline.value().cache_stats.hits + 1);
+  // And the recovered precision is the no-cache ipa result, not dataflow's.
+  EXPECT_EQ(ipa_on_warm.value().unknown_syscall_sites,
+            ipa_reference.value().unknown_syscall_sites);
+  EXPECT_LT(ipa_on_warm.value().unknown_syscall_sites,
+            dataflow.value().unknown_syscall_sites);
+
+  // Vice versa: flipping back to dataflow on the now-mixed cache replays
+  // the dataflow entries (fully warm) with dataflow's own counters.
+  options.analyzer.use_ipa = false;
+  auto dataflow_warm = corpus::RunStudy(options);
+  ASSERT_TRUE(dataflow_warm.ok()) << dataflow_warm.status().ToString();
+  EXPECT_EQ(dataflow_warm.value().analyses_from_cache,
+            dataflow_warm.value().analyzed_binaries);
+  EXPECT_EQ(dataflow_warm.value().unknown_syscall_sites,
+            dataflow.value().unknown_syscall_sites);
 }
 
 TEST(CacheStudyTest, PersistentCacheDirSurvivesAcrossRuns) {

@@ -54,6 +54,37 @@ TEST(Cli, VersionPrintsSchemaBanner) {
   EXPECT_EQ(result.exit_code, 0);
   EXPECT_NE(result.output.find("study artifact schema v"), std::string::npos);
   EXPECT_NE(result.output.find("cache schema v"), std::string::npos);
+  EXPECT_NE(result.output.find("analysis tier dataflow"), std::string::npos);
+}
+
+TEST(Cli, VersionNamesEveryAnalysisTier) {
+  for (const char* tier : {"linear", "dataflow", "ipa"}) {
+    auto result = RunTool(std::string("--analysis=") + tier + " --version");
+    EXPECT_EQ(result.exit_code, 0) << tier;
+    EXPECT_NE(result.output.find(std::string("analysis tier ") + tier),
+              std::string::npos)
+        << result.output;
+  }
+}
+
+TEST(Cli, BogusAnalysisTierFails) {
+  auto result = RunTool("--analysis=psychic --version");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("--analysis"), std::string::npos);
+}
+
+TEST(Cli, BannerNamesActiveAnalysisTier) {
+  for (const char* tier : {"linear", "dataflow", "ipa"}) {
+    auto result = RunTool(SmallFlags() + " --analysis=" + tier);
+    ASSERT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find(std::string("(analysis tier: ") + tier +
+                                 ")"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("ground-truth mismatches: 0"),
+              std::string::npos)
+        << tier;
+  }
 }
 
 TEST(Cli, UnknownFlagFails) {

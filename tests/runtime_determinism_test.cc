@@ -26,11 +26,13 @@ struct Exports {
 };
 
 Exports RunAndExport(uint64_t seed, size_t jobs, bool use_dataflow = true,
-                     cache::FootprintCache* cache = nullptr) {
+                     cache::FootprintCache* cache = nullptr,
+                     bool use_ipa = false) {
   corpus::StudyOptions options = corpus::SmallStudyOptions();
   options.distro.seed = seed;
   options.jobs = jobs;
   options.analyzer.use_dataflow = use_dataflow;
+  options.analyzer.use_ipa = use_ipa;
   options.cache = cache;
   auto study = corpus::RunStudy(options);
   EXPECT_TRUE(study.ok()) << study.status().ToString();
@@ -105,6 +107,23 @@ TEST(RuntimeDeterminism, LinearModeExportsAreByteIdenticalAcrossJobCounts) {
   ASSERT_FALSE(sequential.footprints.empty());
   EXPECT_EQ(sequential.ground_truth_mismatches, 0u);
   Exports parallel = RunAndExport(seed, 8, /*use_dataflow=*/false);
+  EXPECT_EQ(parallel.analyzed_binaries, sequential.analyzed_binaries);
+  EXPECT_EQ(parallel.importance, sequential.importance);
+  EXPECT_EQ(parallel.packages, sequential.packages);
+  EXPECT_EQ(parallel.footprints, sequential.footprints);
+}
+
+// And the interprocedural tier: summary emission is callees-first over the
+// SCC condensation, never scheduling order, so exports stay byte-identical
+// at every worker count.
+TEST(RuntimeDeterminism, IpaModeExportsAreByteIdenticalAcrossJobCounts) {
+  const uint64_t seed = 20160418;
+  Exports sequential = RunAndExport(seed, 1, /*use_dataflow=*/true,
+                                    /*cache=*/nullptr, /*use_ipa=*/true);
+  ASSERT_FALSE(sequential.footprints.empty());
+  EXPECT_EQ(sequential.ground_truth_mismatches, 0u);
+  Exports parallel = RunAndExport(seed, 8, /*use_dataflow=*/true,
+                                  /*cache=*/nullptr, /*use_ipa=*/true);
   EXPECT_EQ(parallel.analyzed_binaries, sequential.analyzed_binaries);
   EXPECT_EQ(parallel.importance, sequential.importance);
   EXPECT_EQ(parallel.packages, sequential.packages);

@@ -106,8 +106,9 @@ int main(int argc, char** argv) {
                "worker threads for the pipeline (0 = all cores, 1 = "
                "sequential); exports are identical at any value");
   flags.AddString("analysis", "dataflow",
-                  "constant-propagation mode: dataflow (CFG join) or "
-                  "linear (sound sweep baseline)");
+                  "analysis tier: linear (sound sweep baseline), dataflow "
+                  "(CFG join), or ipa (interprocedural wrapper "
+                  "back-tracking)");
   flags.AddBool("audit", false,
                 "differentially replay every executable against its "
                 "static footprint and report soundness/precision");
@@ -141,11 +142,23 @@ int main(int argc, char** argv) {
     std::fputs(flags.Usage().c_str(), stdout);
     return 0;
   }
+  const std::string& analysis_mode = flags.GetString("analysis");
+  if (analysis_mode != "dataflow" && analysis_mode != "linear" &&
+      analysis_mode != "ipa") {
+    std::fprintf(stderr,
+                 "--analysis must be 'dataflow', 'linear', or 'ipa' "
+                 "(got %s)\n",
+                 analysis_mode.c_str());
+    return 2;
+  }
   if (flags.GetBool("version")) {
     // Operators diff these against a daemon's banner to spot stale
     // artifacts or caches before they bite.
-    std::printf("lapis_study study artifact schema v%u, cache schema v%u\n",
-                corpus::kStudyArtifactVersion, cache::kCacheSchemaVersion);
+    std::printf(
+        "lapis_study study artifact schema v%u, cache schema v%u, "
+        "analysis tier %s\n",
+        corpus::kStudyArtifactVersion, cache::kCacheSchemaVersion,
+        analysis_mode.c_str());
     return 0;
   }
 
@@ -183,23 +196,20 @@ int main(int argc, char** argv) {
       return 2;
     }
     options.jobs = static_cast<size_t>(flags.GetInt("jobs"));
-    const std::string& analysis_mode = flags.GetString("analysis");
     if (analysis_mode == "dataflow") {
       options.analyzer.use_dataflow = true;
     } else if (analysis_mode == "linear") {
       options.analyzer.use_dataflow = false;
-    } else {
-      std::fprintf(stderr,
-                   "--analysis must be 'dataflow' or 'linear' (got %s)\n",
-                   analysis_mode.c_str());
-      return 2;
+    } else {  // ipa: interprocedural pass on top of the dataflow fixpoint
+      options.analyzer.use_dataflow = true;
+      options.analyzer.use_ipa = true;
     }
     options.audit = flags.GetBool("audit");
     options.cache_dir = flags.GetString("cache-dir").empty()
                             ? EnvStringOr("LAPIS_CACHE_DIR", "")
                             : flags.GetString("cache-dir");
     std::printf("generating corpus and running the analysis pipeline "
-                "(%s constant propagation)...\n",
+                "(analysis tier: %s)...\n",
                 analysis_mode.c_str());
     auto study = corpus::RunStudy(options);
     if (!study.ok()) {
