@@ -76,7 +76,9 @@ struct LoadResult {
   double p99_us = 0.0;
   uint64_t frames = 0;
   uint64_t requests = 0;
-  uint64_t errors = 0;
+  uint64_t errors = 0;      // hard failures (aborts the client thread)
+  uint64_t busy_sheds = 0;  // retryable kBusy responses from overload caps
+  uint64_t retries = 0;     // frames re-attempted after a shed
 };
 
 double Percentile(std::vector<double>& sorted_us, double fraction) {
@@ -99,20 +101,53 @@ LoadResult RunLoad(const std::string& socket_path,
   std::vector<std::vector<double>> latencies(clients);
   std::vector<std::thread> threads;
   threads.reserve(clients);
+  std::atomic<uint64_t> busy_sheds{0};
+  std::atomic<uint64_t> retries{0};
   for (size_t t = 0; t < clients; ++t) {
     threads.emplace_back([&, t] {
-      auto client = serve::QueryClient::ConnectUnix(socket_path);
-      if (!client.ok()) {
+      auto connected = serve::QueryClient::ConnectUnix(socket_path);
+      if (!connected.ok()) {
         errors.fetch_add(1);
         return;
       }
+      serve::QueryClient client = connected.take();
       auto& samples = latencies[t];
       samples.reserve(65536);
+      // Sheds are retryable by contract: a kBusy (connection- or frame-cap
+      // shed) or the I/O error from the server closing a shed connection
+      // costs a short backoff, a reconnect, and another attempt — not a
+      // bench failure. Only a long unbroken run of retryable failures (the
+      // server is actually gone) or a non-retryable status counts as an
+      // error. Shed round trips are not latency samples.
+      int consecutive_retryable = 0;
       while (!stop.load(std::memory_order_relaxed)) {
+        if (!client.connected()) {
+          auto again = serve::QueryClient::ConnectUnix(socket_path);
+          if (!again.ok()) {
+            errors.fetch_add(1);
+            return;
+          }
+          client = again.take();
+        }
         double start = runtime::MonotonicSeconds();
-        auto responses = client.value().Call(batch);
+        auto responses = client.Call(batch);
         double elapsed = runtime::MonotonicSeconds() - start;
-        if (!responses.ok() || responses.value().size() != batch.size()) {
+        if (!responses.ok()) {
+          if (serve::IsRetryableStatus(responses.status()) &&
+              ++consecutive_retryable < 1000) {
+            if (responses.status().code() == StatusCode::kUnavailable) {
+              busy_sheds.fetch_add(1);
+            }
+            retries.fetch_add(1);
+            client.Close();
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            continue;
+          }
+          errors.fetch_add(1);
+          return;
+        }
+        consecutive_retryable = 0;
+        if (responses.value().size() != batch.size()) {
           errors.fetch_add(1);
           return;
         }
@@ -143,6 +178,8 @@ LoadResult RunLoad(const std::string& socket_path,
   }
   result.requests = result.frames * batch.size();
   result.errors = errors.load();
+  result.busy_sheds = busy_sheds.load();
+  result.retries = retries.load();
   result.frames_per_second = static_cast<double>(result.frames) / window;
   result.qps = static_cast<double>(result.requests) / window;
   std::sort(all.begin(), all.end());
@@ -153,13 +190,16 @@ LoadResult RunLoad(const std::string& socket_path,
 
 void AppendLoad(std::ostringstream& os, const char* label,
                 const LoadResult& load, size_t batch, bool last = false) {
-  char buf[320];
+  char buf[384];
   std::snprintf(buf, sizeof buf,
                 "    \"%s\": { \"qps\": %.0f, \"frames_per_s\": %.0f, "
                 "\"batch\": %zu, \"p50_us\": %.1f, \"p99_us\": %.1f, "
-                "\"frames\": %" PRIu64 ", \"errors\": %" PRIu64 " }%s\n",
+                "\"frames\": %" PRIu64 ", \"errors\": %" PRIu64
+                ", \"busy_sheds\": %" PRIu64 ", \"retries\": %" PRIu64
+                " }%s\n",
                 label, load.qps, load.frames_per_second, batch, load.p50_us,
-                load.p99_us, load.frames, load.errors, last ? "" : ",");
+                load.p99_us, load.frames, load.errors, load.busy_sheds,
+                load.retries, last ? "" : ",");
   os << buf;
 }
 
@@ -303,6 +343,38 @@ int Run() {
 
   server.value()->Stop();
   auto stats = server.value()->stats();
+
+  // Overload: a second listener over the same store with a deliberately
+  // tiny connection cap, driven by the same client count. Excess clients
+  // must be shed with retryable busy responses and recover by backing off
+  // and reconnecting — while the one admitted client keeps getting
+  // answers. The default-load phases above run uncapped and must never
+  // shed (both asserted in the exit code below).
+  serve::ServerOptions overload_options;
+  overload_options.unix_socket_path =
+      (std::filesystem::temp_directory_path() /
+       ("lapis-serve-bench-" + std::to_string(::getpid()) +
+        "-overload.sock"))
+          .string();
+  overload_options.workers = clients;
+  overload_options.max_connections = 1;
+  auto overload_server = serve::Server::Start(overload_options, &store);
+  if (!overload_server.ok()) {
+    std::fprintf(stderr, "overload server start failed: %s\n",
+                 overload_server.status().ToString().c_str());
+    return 1;
+  }
+  size_t overload_clients = std::max<size_t>(clients, 4);
+  std::fprintf(stderr,
+               "[bench_serve_qps] overload: %zu clients vs "
+               "--max-connections %zu\n",
+               overload_clients, overload_options.max_connections);
+  auto overload =
+      RunLoad(overload_options.unix_socket_path, point_batch,
+              overload_clients, std::min(seconds, 2.0));
+  overload_server.value()->Stop();
+  auto overload_stats = overload_server.value()->stats();
+
   std::error_code ec;
   std::filesystem::remove(artifact_path, ec);
 
@@ -347,12 +419,27 @@ int Run() {
   AppendLoad(os, "point_importance_during_swaps", under_swap,
              point_batch.size(), /*last=*/true);
   os << "  },\n";
+  os << "  \"overload\": {\n";
+  std::snprintf(buf, sizeof buf,
+                "    \"max_connections\": %zu, \"clients\": %zu,\n",
+                overload_options.max_connections, overload_clients);
+  os << buf;
+  AppendLoad(os, "point_importance_capped", overload, point_batch.size());
+  std::snprintf(buf, sizeof buf,
+                "    \"connections_shed\": %" PRIu64
+                ", \"frames_shed\": %" PRIu64 " },\n",
+                overload_stats.connections_shed,
+                overload_stats.frames_shed);
+  os << buf;
   std::snprintf(buf, sizeof buf,
                 "  \"server_stats\": { \"connections\": %" PRIu64
                 ", \"frames\": %" PRIu64 ", \"requests\": %" PRIu64
-                ", \"protocol_errors\": %" PRIu64 " },\n",
+                ", \"protocol_errors\": %" PRIu64
+                ", \"connections_shed\": %" PRIu64
+                ", \"frames_shed\": %" PRIu64 " },\n",
                 stats.connections_accepted, stats.frames_served,
-                stats.requests_served, stats.protocol_errors);
+                stats.requests_served, stats.protocol_errors,
+                stats.connections_shed, stats.frames_shed);
   os << buf;
   std::snprintf(buf, sizeof buf,
                 "  \"memory\": { \"max_rss_kib\": %" PRIu64
@@ -370,17 +457,37 @@ int Run() {
     std::fprintf(stderr, "failed writing %s\n", path.c_str());
     return 1;
   }
+  uint64_t default_errors = point.errors + eval.errors + topk.errors +
+                            under_swap.errors;
+  uint64_t default_sheds = point.busy_sheds + eval.busy_sheds +
+                           topk.busy_sheds + under_swap.busy_sheds;
   std::fprintf(stderr,
                "[bench_serve_qps] wrote %s (cold load %.1fms, point %.0f "
                "qps p99 %.0fus, eval %.0f qps, topk %.0f qps, %" PRIu64
-               " errors)\n",
+               " errors; overload: %" PRIu64 " sheds absorbed by %" PRIu64
+               " retries, %" PRIu64 " errors)\n",
                path.c_str(), cold_load_ms, point.qps, point.p99_us,
-               eval.qps, topk.qps,
-               point.errors + eval.errors + topk.errors +
-                   under_swap.errors);
-  return (point.errors + eval.errors + topk.errors + under_swap.errors) == 0
-             ? 0
-             : 1;
+               eval.qps, topk.qps, default_errors,
+               overload_stats.connections_shed + overload_stats.frames_shed,
+               overload.retries, overload.errors);
+  // Pass criteria: the uncapped phases see zero errors and zero sheds, and
+  // the capped phase demonstrably sheds while retries keep it error-free.
+  if (default_errors != 0 || overload.errors != 0) {
+    std::fprintf(stderr, "[bench_serve_qps] FAIL: hard errors\n");
+    return 1;
+  }
+  if (default_sheds != 0 || stats.connections_shed != 0 ||
+      stats.frames_shed != 0) {
+    std::fprintf(stderr,
+                 "[bench_serve_qps] FAIL: uncapped server shed load\n");
+    return 1;
+  }
+  if (overload_stats.connections_shed == 0) {
+    std::fprintf(stderr,
+                 "[bench_serve_qps] FAIL: overload phase never shed\n");
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 #include "src/cache/footprint_cache.h"
 
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
 #include <vector>
+
+#include "src/util/env.h"
 
 namespace lapis::cache {
 
@@ -44,6 +47,14 @@ void AppendLeU32(std::vector<uint8_t>& out, uint32_t v) {
 constexpr size_t kHeaderSize = 4 + 8 + 8 + 4;  // magic, content, fp, len
 constexpr size_t kTrailerSize = 8;             // payload checksum
 
+FsyncPolicy FsyncPolicyFromEnv() {
+  std::string policy = EnvStringOr("LAPIS_CACHE_FSYNC", "never");
+  if (policy == "record" || policy == "always" || policy == "each") {
+    return FsyncPolicy::kEachRecord;
+  }
+  return FsyncPolicy::kNever;
+}
+
 }  // namespace
 
 CacheStats CacheStats::operator-(const CacheStats& start) const {
@@ -57,50 +68,70 @@ CacheStats CacheStats::operator-(const CacheStats& start) const {
   delta.entries_loaded = entries_loaded;
   delta.corrupt_entries_dropped = corrupt_entries_dropped;
   delta.entries = entries;
+  delta.truncated_tails = truncated_tails;
+  delta.open_failures = open_failures;
+  delta.quarantined_shards = quarantined_shards;
   return delta;
 }
 
 Result<std::unique_ptr<FootprintCache>> FootprintCache::Open(
     const std::string& dir) {
+  CacheOptions options;
+  options.dir = dir;
+  options.fsync = FsyncPolicyFromEnv();
+  return Open(options);
+}
+
+Result<std::unique_ptr<FootprintCache>> FootprintCache::Open(
+    const CacheOptions& options) {
   std::unique_ptr<FootprintCache> cache(new FootprintCache());
-  cache->dir_ = dir;
-  if (dir.empty()) {
+  cache->dir_ = options.dir;
+  cache->fsync_ = options.fsync;
+  if (options.dir.empty()) {
     return cache;
   }
   std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
+  std::filesystem::create_directories(options.dir, ec);
   if (ec) {
-    return IoError("cannot create cache dir " + dir + ": " + ec.message());
+    return IoError("cannot create cache dir " + options.dir + ": " +
+                   ec.message());
   }
   for (size_t i = 0; i < kShardCount; ++i) {
-    const std::string path = ShardPath(dir, i);
+    const std::string path = ShardPath(options.dir, i);
     cache->LoadShard(i, path);
-    cache->shards_[i].log = std::fopen(path.c_str(), "ab");
-    if (cache->shards_[i].log == nullptr) {
+    Shard& shard = cache->shards_[i];
+    if (shard.quarantined) {
+      continue;  // load already gave up on write-back for this shard
+    }
+    Result<io::File> log = io::File::OpenAppend(path, io::Profile::kCacheIo);
+    if (!log.ok()) {
       // Unwritable shard: serve what was loaded, skip write-back for it.
+      ++cache->open_failures_;
+      cache->Quarantine(i, shard, "cannot open log: " +
+                                      log.status().ToString());
       continue;
     }
+    shard.log = log.take();
   }
   return cache;
 }
 
 void FootprintCache::LoadShard(size_t index, const std::string& path) {
   Shard& shard = shards_[index];
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return;  // first run: no log yet
-  }
-  std::fseek(f, 0, SEEK_END);
-  const long end = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<uint8_t> data;
-  if (end > 0) {
-    data.resize(static_cast<size_t>(end));
-    if (std::fread(data.data(), 1, data.size(), f) != data.size()) {
-      data.clear();
+  Result<std::vector<uint8_t>> read =
+      io::ReadFileBytes(path, io::Profile::kCacheIo);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) {
+      return;  // first run: no log yet
     }
+    // Unreadable log: we cannot know what is on disk, so appending to it
+    // would risk corrupting a record boundary. Serve nothing from it and
+    // quarantine write-back.
+    ++open_failures_;
+    Quarantine(index, shard, "cannot read log: " + read.status().ToString());
+    return;
   }
-  std::fclose(f);
+  std::vector<uint8_t> data = read.take();
 
   size_t pos = 0;
   size_t valid_end = 0;
@@ -136,22 +167,36 @@ void FootprintCache::LoadShard(size_t index, const std::string& path) {
     pos += kHeaderSize + len + kTrailerSize;
     valid_end = pos;
   }
+  shard.committed_bytes = valid_end;
   if (pos != data.size() || corrupt_tail) {
     ++corrupt_entries_dropped_;
+    ++truncated_tails_;
     // Truncate back to the last whole record so future appends land on a
     // readable boundary.
     std::error_code ec;
     std::filesystem::resize_file(path, valid_end, ec);
-  }
-}
-
-FootprintCache::~FootprintCache() {
-  for (Shard& shard : shards_) {
-    if (shard.log != nullptr) {
-      std::fclose(shard.log);
+    if (ec) {
+      Quarantine(index, shard, "cannot truncate corrupt tail: " +
+                                   ec.message());
     }
   }
 }
+
+void FootprintCache::Quarantine(size_t index, Shard& shard,
+                                const std::string& reason) {
+  if (shard.quarantined) {
+    return;
+  }
+  shard.quarantined = true;
+  shard.log.Close();
+  quarantined_shards_.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "lapis cache: shard %02zu quarantined, memory-only for this "
+               "run (%s)\n",
+               index, reason.c_str());
+}
+
+FootprintCache::~FootprintCache() = default;
 
 std::shared_ptr<const std::vector<uint8_t>> FootprintCache::Lookup(
     const CacheKey& key) {
@@ -170,6 +215,7 @@ std::shared_ptr<const std::vector<uint8_t>> FootprintCache::Lookup(
 void FootprintCache::Insert(const CacheKey& key,
                             std::span<const uint8_t> payload) {
   Shard& shard = shards_[key.content % kShardCount];
+  size_t shard_index = static_cast<size_t>(key.content % kShardCount);
   auto value = std::make_shared<std::vector<uint8_t>>(payload.begin(),
                                                       payload.end());
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -181,7 +227,7 @@ void FootprintCache::Insert(const CacheKey& key,
   inserts_.fetch_add(1, std::memory_order_relaxed);
   entries_.fetch_add(1, std::memory_order_relaxed);
   bytes_written_.fetch_add(payload.size(), std::memory_order_relaxed);
-  if (shard.log == nullptr) {
+  if (shard.quarantined || !shard.log.valid()) {
     return;
   }
   // One contiguous append per record: header + payload + checksum.
@@ -193,10 +239,26 @@ void FootprintCache::Insert(const CacheKey& key,
   AppendLeU32(record, static_cast<uint32_t>(payload.size()));
   record.insert(record.end(), payload.begin(), payload.end());
   AppendLeU64(record, HashBytes(payload));
-  if (std::fwrite(record.data(), 1, record.size(), shard.log) ==
-      record.size()) {
-    std::fflush(shard.log);
+
+  Status status = shard.log.WriteAll(record.data(), record.size());
+  if (status.ok() && fsync_ == FsyncPolicy::kEachRecord) {
+    status = shard.log.Sync();
   }
+  if (status.ok()) {
+    // Record-level commit: only now is the append part of the durable log.
+    shard.committed_bytes += record.size();
+    return;
+  }
+  // Partial or failed append: roll the log back to the last committed
+  // record if we still can (a simulated crash also kills the repair), then
+  // quarantine — a half-record must never be followed by more appends.
+  Status repair = shard.log.Truncate(shard.committed_bytes);
+  std::string reason = "append failed: " + status.ToString();
+  if (!repair.ok()) {
+    reason += "; rollback failed: " + repair.ToString() +
+              " (next open will truncate the tail)";
+  }
+  Quarantine(shard_index, shard, reason);
 }
 
 CacheStats FootprintCache::stats() const {
@@ -209,6 +271,10 @@ CacheStats FootprintCache::stats() const {
   out.entries_loaded = entries_loaded_;
   out.corrupt_entries_dropped = corrupt_entries_dropped_;
   out.entries = entries_.load(std::memory_order_relaxed);
+  out.truncated_tails = truncated_tails_;
+  out.open_failures = open_failures_;
+  out.quarantined_shards =
+      quarantined_shards_.load(std::memory_order_relaxed);
   return out;
 }
 

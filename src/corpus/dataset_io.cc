@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/util/io.h"
+
 namespace lapis::corpus {
 
 namespace {
@@ -126,31 +128,16 @@ Result<StudyArtifact> DeserializeStudy(ByteReader& reader) {
 Status SaveStudy(const StudyResult& study, const std::string& path) {
   ByteWriter writer;
   LAPIS_RETURN_IF_ERROR(SerializeStudy(study, writer));
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return IoError("cannot open " + path + " for writing");
-  }
-  size_t written =
-      std::fwrite(writer.bytes().data(), 1, writer.size(), f);
-  std::fclose(f);
-  if (written != writer.size()) {
-    return IoError("short write to " + path);
-  }
-  return Status::Ok();
+  // Atomic publication: a reader (e.g. lapis_serve catching SIGHUP mid-
+  // export) sees either the previous complete artifact or this one, never
+  // a torn prefix.
+  return io::AtomicWriteFile(path, writer.bytes().data(), writer.size());
 }
 
 Result<StudyArtifact> LoadStudy(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return IoError("cannot open " + path);
-  }
-  std::vector<uint8_t> bytes;
-  uint8_t buffer[65536];
-  size_t n = 0;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    bytes.insert(bytes.end(), buffer, buffer + n);
-  }
-  std::fclose(f);
+  LAPIS_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> bytes,
+      io::ReadFileBytes(path, io::Profile::kArtifactIo));
   ByteReader reader(bytes);
   return DeserializeStudy(reader);
 }

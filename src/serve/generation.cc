@@ -23,4 +23,15 @@ std::shared_ptr<const Generation> GenerationStore::Current() const {
   return std::atomic_load_explicit(&current_, std::memory_order_acquire);
 }
 
+Result<uint64_t> GenerationStore::PublishFromFile(const std::string& path) {
+  Result<std::shared_ptr<const Snapshot>> snapshot = Snapshot::FromFile(path);
+  if (!snapshot.ok()) {
+    // Degrade gracefully: the old generation keeps serving; only the
+    // counter records that a reload was attempted and rejected.
+    reload_failures_.fetch_add(1, std::memory_order_relaxed);
+    return snapshot.status();
+  }
+  return Publish(snapshot.take());
+}
+
 }  // namespace lapis::serve

@@ -15,8 +15,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "src/serve/snapshot.h"
+#include "src/util/status.h"
 
 namespace lapis::serve {
 
@@ -40,9 +42,22 @@ class GenerationStore {
   // The returned pointer pins that generation's snapshot for its lifetime.
   std::shared_ptr<const Generation> Current() const;
 
+  // Loads, validates, and publishes a study artifact as the next
+  // generation. On ANY failure — unreadable file, torn bytes, schema
+  // mismatch — the currently published generation stays live untouched,
+  // reload_failures() is incremented, and the load error is returned.
+  // This is the SIGHUP-reload path: a bad artifact must degrade to "keep
+  // serving the old data", never to an empty or torn store.
+  Result<uint64_t> PublishFromFile(const std::string& path);
+
   // Number of the latest published generation (0 = none yet).
   uint64_t latest() const {
     return latest_number_.load(std::memory_order_acquire);
+  }
+
+  // Failed PublishFromFile attempts since startup (served in `info`).
+  uint64_t reload_failures() const {
+    return reload_failures_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -55,6 +70,7 @@ class GenerationStore {
   std::shared_ptr<const Generation> current_;
   std::atomic<uint64_t> next_number_{1};
   std::atomic<uint64_t> latest_number_{0};
+  std::atomic<uint64_t> reload_failures_{0};
 };
 
 }  // namespace lapis::serve

@@ -148,6 +148,7 @@ void EncodeResponse(const QueryResponse& response, ByteWriter& writer) {
       writer.PutU64(info.content_hash);
       writer.PutU32(info.package_count);
       writer.PutU64(info.total_installations);
+      writer.PutU64(info.reload_failures);
       writer.PutLengthPrefixedString(info.source);
       break;
     }
@@ -209,7 +210,7 @@ Result<QueryResponse> DecodeResponse(ByteReader& reader) {
   QueryResponse response;
   LAPIS_ASSIGN_OR_RETURN(uint8_t opcode, reader.ReadU8());
   LAPIS_ASSIGN_OR_RETURN(uint8_t status, reader.ReadU8());
-  if (status > static_cast<uint8_t>(WireStatus::kInternal)) {
+  if (status > static_cast<uint8_t>(WireStatus::kBusy)) {
     return InvalidArgumentError("bad WireStatus byte " +
                                 std::to_string(status));
   }
@@ -243,6 +244,7 @@ Result<QueryResponse> DecodeResponse(ByteReader& reader) {
       LAPIS_ASSIGN_OR_RETURN(info.content_hash, reader.ReadU64());
       LAPIS_ASSIGN_OR_RETURN(info.package_count, reader.ReadU32());
       LAPIS_ASSIGN_OR_RETURN(info.total_installations, reader.ReadU64());
+      LAPIS_ASSIGN_OR_RETURN(info.reload_failures, reader.ReadU64());
       LAPIS_ASSIGN_OR_RETURN(info.source, reader.ReadLengthPrefixedString());
       info.generation = response.generation;
       break;
@@ -337,6 +339,7 @@ const char* WireStatusName(WireStatus status) {
     case WireStatus::kUnsupportedKind: return "UNSUPPORTED_KIND";
     case WireStatus::kNotReady: return "NOT_READY";
     case WireStatus::kInternal: return "INTERNAL";
+    case WireStatus::kBusy: return "BUSY";
   }
   return "INVALID";
 }
@@ -420,6 +423,14 @@ std::vector<uint8_t> EncodeFrameErrorResponse(const std::string& error) {
   QueryResponse response;
   response.opcode = Opcode::kFrameError;
   response.status = WireStatus::kBadRequest;
+  response.error = error;
+  return EncodeResponseFrame(std::span<const QueryResponse>(&response, 1));
+}
+
+std::vector<uint8_t> EncodeBusyResponse(const std::string& error) {
+  QueryResponse response;
+  response.opcode = Opcode::kFrameError;
+  response.status = WireStatus::kBusy;
   response.error = error;
   return EncodeResponseFrame(std::span<const QueryResponse>(&response, 1));
 }

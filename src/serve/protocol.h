@@ -37,7 +37,10 @@
 
 namespace lapis::serve {
 
-inline constexpr uint32_t kProtocolVersion = 1;
+// v2: WireStatus::kBusy (retryable overload shedding) + reload_failures in
+// ServerInfoResult. v1 decoders reject kBusy frames as corrupt, which still
+// fails safe (the client gives up instead of retrying).
+inline constexpr uint32_t kProtocolVersion = 2;
 inline constexpr uint32_t kRequestMagic = 0x3146514c;   // "LQF1"
 inline constexpr uint32_t kResponseMagic = 0x3152514c;  // "LQR1"
 
@@ -70,6 +73,7 @@ enum class WireStatus : uint8_t {
   kUnsupportedKind = 3, // ApiKind byte outside the known families
   kNotReady = 4,        // no snapshot generation published yet
   kInternal = 5,
+  kBusy = 6,            // overloaded: shed, retry with backoff (v2)
 };
 
 const char* WireStatusName(WireStatus status);
@@ -150,6 +154,7 @@ struct ServerInfoResult {
   uint64_t content_hash = 0;  // FNV-1a of the serialized study artifact
   uint32_t package_count = 0;
   uint64_t total_installations = 0;
+  uint64_t reload_failures = 0;  // rejected SIGHUP reloads since startup (v2)
   std::string source;  // where the snapshot came from (path or label)
 };
 
@@ -188,6 +193,10 @@ Result<std::vector<QueryResponse>> DecodeResponsePayload(
 // The single-response frame the server sends before closing a connection
 // whose inbound frame was unrecoverable.
 std::vector<uint8_t> EncodeFrameErrorResponse(const std::string& error);
+
+// The single-response frame the server sheds load with (kFrameError opcode,
+// kBusy status): the client should back off and retry the whole frame.
+std::vector<uint8_t> EncodeBusyResponse(const std::string& error);
 
 }  // namespace lapis::serve
 

@@ -95,6 +95,9 @@ ServerStats Server::stats() const {
   stats.frames_served = frames_served_.load(std::memory_order_relaxed);
   stats.requests_served = requests_served_.load(std::memory_order_relaxed);
   stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.connections_shed = connections_shed_.load(std::memory_order_relaxed);
+  stats.frames_shed = frames_shed_.load(std::memory_order_relaxed);
+  stats.reload_failures = store_->reload_failures();
   return stats;
 }
 
@@ -110,9 +113,24 @@ void Server::AcceptLoop() {
       continue;
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    bool shed = false;
     {
       std::lock_guard<std::mutex> lock(connections_mutex_);
-      connections_.insert(fd);
+      if (options_.max_connections > 0 &&
+          connections_.size() >= options_.max_connections) {
+        shed = true;
+      } else {
+        connections_.insert(fd);
+      }
+    }
+    if (shed) {
+      // Over the connection cap: one retryable kBusy frame, then close.
+      // Shedding at accept keeps the worker pool for established peers.
+      connections_shed_.fetch_add(1, std::memory_order_relaxed);
+      (void)WriteFully(fd, EncodeBusyResponse(
+                               "server at connection capacity, retry later"));
+      ::close(fd);
+      continue;
     }
     executor_->Submit([this, fd] { HandleConnection(fd); });
   }
@@ -167,6 +185,19 @@ bool Server::ServeFrame(int fd) {
     return false;
   }
 
+  // In-flight frame cap: the frame is fully read (keeping the stream
+  // parseable) but answered kBusy without touching a snapshot. The
+  // connection stays open so a backed-off retry is cheap.
+  uint64_t inflight = inflight_frames_.fetch_add(1, std::memory_order_acq_rel)
+                      + 1;
+  if (options_.max_inflight_frames > 0 &&
+      inflight > options_.max_inflight_frames) {
+    inflight_frames_.fetch_sub(1, std::memory_order_acq_rel);
+    frames_shed_.fetch_add(1, std::memory_order_relaxed);
+    return WriteFully(
+        fd, EncodeBusyResponse("server at in-flight frame capacity"));
+  }
+
   // One generation pin for the whole batch: every request in this frame is
   // answered against the same immutable snapshot, even if Publish() swaps
   // in a new generation while we compute.
@@ -185,8 +216,10 @@ bool Server::ServeFrame(int fd) {
     QueryResponse response = generation->snapshot->Execute(request);
     response.generation = generation->number;
     response.info.generation = generation->number;
+    response.info.reload_failures = store_->reload_failures();
     responses.push_back(std::move(response));
   }
+  inflight_frames_.fetch_sub(1, std::memory_order_acq_rel);
   if (!WriteFully(fd, EncodeResponseFrame(responses))) {
     return false;
   }

@@ -47,6 +47,13 @@ struct ServerOptions {
   // Connection worker threads; 0 = runtime::DefaultJobs().
   size_t workers = 0;
   int backlog = 64;
+  // Overload shedding (0 = uncapped). A connection accepted past
+  // max_connections gets one kBusy frame and is closed; a frame arriving
+  // while max_inflight_frames are already executing gets a kBusy response
+  // but keeps its connection. kBusy is retryable — clients back off and
+  // try again (client.h CallWithRetry).
+  size_t max_connections = 0;
+  size_t max_inflight_frames = 0;
 };
 
 struct ServerStats {
@@ -54,6 +61,9 @@ struct ServerStats {
   uint64_t frames_served = 0;
   uint64_t requests_served = 0;
   uint64_t protocol_errors = 0;  // connections dropped for bad framing
+  uint64_t connections_shed = 0;  // closed at accept with kBusy (conn cap)
+  uint64_t frames_shed = 0;       // answered kBusy (in-flight frame cap)
+  uint64_t reload_failures = 0;   // rejected artifact reloads (store's count)
 };
 
 class Server {
@@ -102,6 +112,9 @@ class Server {
   std::atomic<uint64_t> frames_served_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> connections_shed_{0};
+  std::atomic<uint64_t> frames_shed_{0};
+  std::atomic<uint64_t> inflight_frames_{0};
 };
 
 }  // namespace lapis::serve

@@ -12,6 +12,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "src/util/fault.h"
+
 namespace lapis::serve {
 
 namespace {
@@ -112,6 +114,20 @@ Status ConnectWithDeadline(int fd, const sockaddr* addr, socklen_t len,
 ssize_t ReadFully(int fd, uint8_t* out, size_t size) {
   size_t done = 0;
   while (done < size) {
+    fault::Injected injected = fault::Check(fault::Site::kSockRead,
+                                            size - done);
+    switch (injected.kind) {
+      case fault::Kind::kNone:
+        break;
+      case fault::Kind::kEintr:
+        continue;  // drives the same retry the real EINTR branch takes
+      case fault::Kind::kShort:
+        // Peer vanished mid-frame: the caller sees a truncated read.
+        return static_cast<ssize_t>(done);
+      default:
+        errno = fault::InjectedErrno(injected.kind);
+        return -1;
+    }
     ssize_t n = ::recv(fd, out + done, size - done, 0);
     if (n < 0) {
       if (errno == EINTR) {
@@ -130,15 +146,39 @@ ssize_t ReadFully(int fd, uint8_t* out, size_t size) {
 bool WriteFully(int fd, std::span<const uint8_t> data) {
   size_t done = 0;
   while (done < data.size()) {
-    ssize_t n = ::send(fd, data.data() + done, data.size() - done,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) {
+    fault::Injected injected = fault::Check(fault::Site::kSockWrite,
+                                            data.size() - done);
+    size_t limit = data.size();
+    bool fail_after = false;
+    switch (injected.kind) {
+      case fault::Kind::kNone:
+        break;
+      case fault::Kind::kEintr:
         continue;
+      case fault::Kind::kShort:
+      case fault::Kind::kCrash:
+        // A prefix escapes to the peer, then the connection dies — the
+        // mid-frame disconnect the reader's truncation handling covers.
+        limit = done + injected.short_bytes;
+        fail_after = true;
+        break;
+      default:
+        errno = fault::InjectedErrno(injected.kind);
+        return false;
+    }
+    while (done < limit) {
+      ssize_t n = ::send(fd, data.data() + done, limit - done, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return false;
       }
+      done += static_cast<size_t>(n);
+    }
+    if (fail_after) {
       return false;
     }
-    done += static_cast<size_t>(n);
   }
   return true;
 }

@@ -1,0 +1,304 @@
+#include "src/util/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/fault.h"
+
+namespace lapis {
+namespace io {
+
+namespace {
+
+fault::Site OpenSite(Profile profile) {
+  return profile == Profile::kCacheIo ? fault::Site::kCacheOpen
+                                      : fault::Site::kArtifactOpen;
+}
+fault::Site ReadSite(Profile profile) {
+  return profile == Profile::kCacheIo ? fault::Site::kCacheRead
+                                      : fault::Site::kArtifactRead;
+}
+fault::Site WriteSite(Profile profile) {
+  return profile == Profile::kCacheIo ? fault::Site::kCacheWrite
+                                      : fault::Site::kArtifactWrite;
+}
+fault::Site SyncSite(Profile profile) {
+  return profile == Profile::kCacheIo ? fault::Site::kCacheSync
+                                      : fault::Site::kArtifactSync;
+}
+
+Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
+  std::string message = op + " " + path + ": " + std::strerror(err);
+  if (err == ENOENT) {
+    return NotFoundError(std::move(message));
+  }
+  return IoError(std::move(message));
+}
+
+}  // namespace
+
+// Opens with injected open-site faults mapped to errno failures.
+Result<File> File::OpenWithFlags(const std::string& path, int flags,
+                                 Profile profile) {
+  fault::Site site = OpenSite(profile);
+  for (;;) {
+    fault::Injected injected = fault::Check(site, 0);
+    switch (injected.kind) {
+      case fault::Kind::kNone:
+        break;
+      case fault::Kind::kEintr:
+        continue;  // retry, like a real interrupted open(2)
+      default:
+        return ErrnoStatus("open", path, fault::InjectedErrno(injected.kind));
+    }
+    int fd;
+    do {
+      fd = ::open(path.c_str(), flags, 0644);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) {
+      return ErrnoStatus("open", path, errno);
+    }
+    return File(fd, path, profile);
+  }
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)), profile_(other.profile_) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    profile_ = other.profile_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+File::~File() { Close(); }
+
+void File::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<File> File::OpenAppend(const std::string& path, Profile profile) {
+  return OpenWithFlags(path, O_WRONLY | O_CREAT | O_APPEND, profile);
+}
+
+Result<File> File::OpenRead(const std::string& path, Profile profile) {
+  return OpenWithFlags(path, O_RDONLY, profile);
+}
+
+Result<File> File::CreateTruncated(const std::string& path, Profile profile) {
+  return OpenWithFlags(path, O_WRONLY | O_CREAT | O_TRUNC, profile);
+}
+
+Status File::WriteAll(const void* data, size_t len) {
+  if (fd_ < 0) {
+    return FailedPreconditionError("write on closed file " + path_);
+  }
+  const uint8_t* cursor = static_cast<const uint8_t*>(data);
+  size_t remaining = len;
+  while (remaining > 0) {
+    fault::Injected injected = fault::Check(WriteSite(profile_), remaining);
+    size_t attempt = remaining;
+    bool fail_after = false;
+    std::string fail_message;
+    switch (injected.kind) {
+      case fault::Kind::kNone:
+        break;
+      case fault::Kind::kEintr:
+        continue;  // retry the op, as the EINTR loop in real code would
+      case fault::Kind::kEio:
+      case fault::Kind::kEnospc:
+        return ErrnoStatus("write", path_, fault::InjectedErrno(injected.kind));
+      case fault::Kind::kShort:
+        // A prefix lands on disk, then the write fails — the torn state a
+        // half-written record leaves behind.
+        attempt = injected.short_bytes;
+        fail_after = true;
+        fail_message = "short write (" + std::to_string(injected.short_bytes) +
+                       " of " + std::to_string(remaining) + " bytes) to " +
+                       path_;
+        break;
+      case fault::Kind::kCrash:
+        attempt = injected.short_bytes < remaining ? injected.short_bytes
+                                                   : remaining;
+        fail_after = true;
+        fail_message = "simulated crash after writing " +
+                       std::to_string(attempt) + " bytes to " + path_;
+        break;
+    }
+    while (attempt > 0) {
+      ssize_t n = ::write(fd_, cursor, attempt);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoStatus("write", path_, errno);
+      }
+      cursor += n;
+      attempt -= static_cast<size_t>(n);
+      remaining -= static_cast<size_t>(n);
+    }
+    if (fail_after) {
+      return IoError(std::move(fail_message));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> File::ReadToEnd() {
+  if (fd_ < 0) {
+    return FailedPreconditionError("read on closed file " + path_);
+  }
+  std::vector<uint8_t> bytes;
+  constexpr size_t kChunk = 1 << 20;
+  for (;;) {
+    fault::Injected injected = fault::Check(ReadSite(profile_), kChunk);
+    switch (injected.kind) {
+      case fault::Kind::kNone:
+        break;
+      case fault::Kind::kEintr:
+        continue;
+      case fault::Kind::kShort:
+        // Simulates a torn/truncated file: the caller sees a clean EOF
+        // after a prefix and must treat the tail as missing.
+        return bytes;
+      default:
+        return ErrnoStatus("read", path_, fault::InjectedErrno(injected.kind));
+    }
+    size_t old_size = bytes.size();
+    bytes.resize(old_size + kChunk);
+    ssize_t n = ::read(fd_, bytes.data() + old_size, kChunk);
+    if (n < 0) {
+      if (errno == EINTR) {
+        bytes.resize(old_size);
+        continue;
+      }
+      return ErrnoStatus("read", path_, errno);
+    }
+    bytes.resize(old_size + static_cast<size_t>(n));
+    if (n == 0) {
+      return bytes;
+    }
+  }
+}
+
+Status File::Sync() {
+  if (fd_ < 0) {
+    return FailedPreconditionError("fsync on closed file " + path_);
+  }
+  for (;;) {
+    fault::Injected injected = fault::Check(SyncSite(profile_), 0);
+    switch (injected.kind) {
+      case fault::Kind::kNone:
+        break;
+      case fault::Kind::kEintr:
+        continue;
+      default:
+        return ErrnoStatus("fsync", path_, fault::InjectedErrno(injected.kind));
+    }
+    if (::fsync(fd_) != 0) {
+      return ErrnoStatus("fsync", path_, errno);
+    }
+    return Status::Ok();
+  }
+}
+
+Status File::Truncate(uint64_t len) {
+  if (fd_ < 0) {
+    return FailedPreconditionError("ftruncate on closed file " + path_);
+  }
+  for (;;) {
+    // Repair I/O is still I/O: a crashed "process" cannot truncate either,
+    // so this routes through the write site.
+    fault::Injected injected = fault::Check(WriteSite(profile_), 0);
+    switch (injected.kind) {
+      case fault::Kind::kNone:
+        break;
+      case fault::Kind::kEintr:
+        continue;
+      default:
+        return ErrnoStatus("ftruncate", path_,
+                           fault::InjectedErrno(injected.kind));
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(len)) != 0) {
+      return ErrnoStatus("ftruncate", path_, errno);
+    }
+    return Status::Ok();
+  }
+}
+
+Result<uint64_t> File::Size() const {
+  if (fd_ < 0) {
+    return FailedPreconditionError("fstat on closed file " + path_);
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return ErrnoStatus("fstat", path_, errno);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path,
+                                           Profile profile) {
+  LAPIS_ASSIGN_OR_RETURN(File file, File::OpenRead(path, profile));
+  return file.ReadToEnd();
+}
+
+Status AtomicWriteFile(const std::string& path, const void* data, size_t len) {
+  std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  Status status = [&]() -> Status {
+    LAPIS_ASSIGN_OR_RETURN(
+        File file, File::CreateTruncated(tmp_path, Profile::kArtifactIo));
+    LAPIS_RETURN_IF_ERROR(file.WriteAll(data, len));
+    LAPIS_RETURN_IF_ERROR(file.Sync());
+    file.Close();
+
+    fault::Injected injected = fault::Check(fault::Site::kArtifactRename, 0);
+    while (injected.kind == fault::Kind::kEintr) {
+      injected = fault::Check(fault::Site::kArtifactRename, 0);
+    }
+    if (injected.kind != fault::Kind::kNone) {
+      return ErrnoStatus("rename", path, fault::InjectedErrno(injected.kind));
+    }
+    if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+      return ErrnoStatus("rename", path, errno);
+    }
+
+    // Durability of the rename itself: fsync the containing directory.
+    // Best-effort — some filesystems reject directory fsync.
+    size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd >= 0) {
+      ::fsync(dir_fd);
+      ::close(dir_fd);
+    }
+    return Status::Ok();
+  }();
+  if (!status.ok()) {
+    // A real dead process leaves its temp file behind; only clean up when
+    // the failure was an ordinary error.
+    if (!(fault::Enabled() && fault::GlobalStats().crashed)) {
+      ::unlink(tmp_path.c_str());
+    }
+  }
+  return status;
+}
+
+}  // namespace io
+}  // namespace lapis

@@ -1,0 +1,97 @@
+// Fault-aware POSIX file I/O used by the cache and artifact layers.
+//
+// io::File is a thin fd-based wrapper (not FILE*: stdio buffering would
+// decouple "bytes the caller wrote" from "bytes on disk", which breaks the
+// short-write and crash-point simulation). Every operation consults the
+// fault injector (src/util/fault.h) before touching the kernel, under one
+// of two site families:
+//
+//   Profile::kCacheIo    → cache_open / cache_read / cache_write / cache_sync
+//   Profile::kArtifactIo → artifact_open / artifact_read / artifact_write /
+//                          artifact_sync / artifact_rename
+//
+// With injection disabled each check is one relaxed atomic load.
+
+#ifndef LAPIS_SRC_UTIL_IO_H_
+#define LAPIS_SRC_UTIL_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace lapis {
+namespace io {
+
+enum class Profile : uint8_t { kCacheIo, kArtifactIo };
+
+// Move-only owning fd. All methods are safe to call on an invalid (moved-
+// from or failed-open) File and return FailedPrecondition.
+class File {
+ public:
+  File() = default;
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  ~File();
+
+  // O_WRONLY|O_CREAT|O_APPEND — the cache's shard-log mode.
+  static Result<File> OpenAppend(const std::string& path, Profile profile);
+  // O_RDONLY. Returns NotFound when the path does not exist.
+  static Result<File> OpenRead(const std::string& path, Profile profile);
+  // O_WRONLY|O_CREAT|O_TRUNC.
+  static Result<File> CreateTruncated(const std::string& path,
+                                      Profile profile);
+
+  bool valid() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Writes all of [data, data+len), retrying real and injected EINTR. On an
+  // injected short write or crash, a prefix of the buffer reaches the file
+  // and an IoError is returned — exactly the torn state a caller's recovery
+  // path must handle.
+  Status WriteAll(const void* data, size_t len);
+
+  // Reads the remaining bytes of the file from the current offset. An
+  // injected short read returns successfully with a truncated buffer
+  // (indistinguishable from a torn file, by design).
+  Result<std::vector<uint8_t>> ReadToEnd();
+
+  Status Sync();                  // fsync
+  Status Truncate(uint64_t len);  // ftruncate (faultable: crash blocks repair)
+  Result<uint64_t> Size() const;  // fstat, not faultable (metadata only)
+
+  // Close the fd. Safe to call twice; the destructor closes too.
+  void Close();
+
+ private:
+  File(int fd, std::string path, Profile profile)
+      : fd_(fd), path_(std::move(path)), profile_(profile) {}
+
+  static Result<File> OpenWithFlags(const std::string& path, int flags,
+                                    Profile profile);
+
+  int fd_ = -1;
+  std::string path_;
+  Profile profile_ = Profile::kCacheIo;
+};
+
+// Reads an entire file. NotFound when the path does not exist.
+Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path,
+                                           Profile profile);
+
+// Publishes `len` bytes at `path` atomically: write to a same-directory
+// temp file, fsync it, rename over the destination, fsync the directory.
+// Readers see either the old complete file or the new complete file, never
+// a torn prefix. On failure the temp file is removed — unless a simulated
+// crash fired, in which case it lingers exactly as a real dead process
+// would leave it.
+Status AtomicWriteFile(const std::string& path, const void* data, size_t len);
+
+}  // namespace io
+}  // namespace lapis
+
+#endif  // LAPIS_SRC_UTIL_IO_H_

@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kIoError:
       return "IO_ERROR";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -61,6 +63,9 @@ Status InternalError(std::string message) {
 }
 Status IoError(std::string message) {
   return Status(StatusCode::kIoError, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace lapis

@@ -24,6 +24,7 @@ enum class StatusCode : uint8_t {
   kUnimplemented,
   kInternal,
   kIoError,
+  kUnavailable,  // transient overload/busy: safe to retry with backoff
 };
 
 // Returns a stable human-readable name, e.g. "CORRUPT_DATA".
@@ -62,6 +63,7 @@ Status CorruptDataError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status IoError(std::string message);
+Status UnavailableError(std::string message);
 
 // Holds either a T or an error Status.
 template <typename T>

@@ -168,8 +168,10 @@ TEST(DatasetIo, RejectsUnknownVersion) {
 }
 
 TEST(DatasetIo, LoadMissingFileFails) {
+  // io::ReadFileBytes distinguishes a missing artifact (kNotFound) from a
+  // present-but-unreadable one (kIoError).
   EXPECT_EQ(LoadStudy("/nonexistent/path/study.bin").status().code(),
-            StatusCode::kIoError);
+            StatusCode::kNotFound);
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "src/core/completeness.h"
@@ -684,6 +686,324 @@ TEST(ServeServer, ConcurrentClientsSurviveGenerationSwaps) {
   EXPECT_EQ(stats.frames_served,
             static_cast<uint64_t>(kClientThreads) * kFramesPerClient);
   EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+// ---- SIGHUP-reload degradation: bad artifacts keep the old generation ----
+
+// The lapis_serve SIGHUP handler is one call: store.PublishFromFile(path).
+// These tests drive that exact API with every flavor of broken artifact an
+// operator can produce — missing, garbage, truncated mid-save — and assert
+// the daemon's contract: the old generation keeps serving untouched, the
+// failure is counted, and a subsequent good reload recovers.
+
+std::string SavedArtifactPath() {
+  static const std::string* path = [] {
+    auto p = testing::TempDir() + "/lapis_serve_reload_artifact.bin";
+    EXPECT_TRUE(corpus::SaveStudy(Study(), p).ok());
+    return new std::string(p);
+  }();
+  return *path;
+}
+
+TEST(ServeGeneration, ReloadFailuresKeepOldGenerationServing) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  auto pinned = store.Current();
+  ASSERT_NE(pinned, nullptr);
+
+  // Missing artifact (operator fat-fingered the path or the save crashed
+  // before the rename landed).
+  auto missing =
+      store.PublishFromFile(testing::TempDir() + "/no_such_artifact.bin");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(store.reload_failures(), 1u);
+
+  // Garbage bytes where an artifact should be.
+  std::string corrupt_path = testing::TempDir() + "/lapis_serve_corrupt.bin";
+  {
+    std::ofstream out(corrupt_path, std::ios::binary);
+    out << "this is not a study artifact";
+  }
+  EXPECT_FALSE(store.PublishFromFile(corrupt_path).ok());
+  EXPECT_EQ(store.reload_failures(), 2u);
+
+  // A real artifact torn in half (crash mid-copy without atomic rename).
+  std::string truncated_path =
+      testing::TempDir() + "/lapis_serve_truncated.bin";
+  std::filesystem::copy_file(
+      SavedArtifactPath(), truncated_path,
+      std::filesystem::copy_options::overwrite_existing);
+  std::filesystem::resize_file(
+      truncated_path, std::filesystem::file_size(truncated_path) / 2);
+  EXPECT_FALSE(store.PublishFromFile(truncated_path).ok());
+  EXPECT_EQ(store.reload_failures(), 3u);
+
+  // Through all three failures the original generation never moved and
+  // still answers queries.
+  EXPECT_EQ(store.latest(), 1u);
+  auto current = store.Current();
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->number, 1u);
+  EXPECT_EQ(current->snapshot->content_hash(),
+            SharedSnapshot()->content_hash());
+
+  // A good artifact recovers: next generation publishes, the failure
+  // counter keeps its history.
+  auto reloaded = store.PublishFromFile(SavedArtifactPath());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value(), 2u);
+  EXPECT_EQ(store.latest(), 2u);
+  EXPECT_EQ(store.reload_failures(), 3u);
+
+  std::filesystem::remove(corrupt_path);
+  std::filesystem::remove(truncated_path);
+}
+
+TEST(ServeServer, InfoReportsReloadFailuresOverTheWire) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  EXPECT_FALSE(
+      store.PublishFromFile(testing::TempDir() + "/still_missing.bin").ok());
+  EXPECT_FALSE(
+      store.PublishFromFile(testing::TempDir() + "/also_missing.bin").ok());
+
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("reloadinfo");
+  options.workers = 1;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok());
+  auto client = QueryClient::ConnectUnix(options.unix_socket_path);
+  ASSERT_TRUE(client.ok());
+
+  QueryRequest info;
+  info.opcode = Opcode::kServerInfo;
+  auto response = client.value().CallOne(info);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response.value().status, WireStatus::kOk);
+  EXPECT_EQ(response.value().info.reload_failures, 2u);
+  EXPECT_EQ(response.value().generation, 1u);
+
+  // Recover, then the wire reflects both the new generation and the
+  // preserved failure history.
+  ASSERT_TRUE(store.PublishFromFile(SavedArtifactPath()).ok());
+  auto after = client.value().CallOne(info);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().generation, 2u);
+  EXPECT_EQ(after.value().info.reload_failures, 2u);
+
+  server.value()->Stop();
+  EXPECT_EQ(server.value()->stats().reload_failures, 2u);
+}
+
+// ---- Overload shedding: retryable busy, not a hang or a hard error ----
+
+TEST(ServeServer, ConnectionCapShedsWithRetryableBusy) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("connshed");
+  options.workers = 2;
+  options.max_connections = 1;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok());
+
+  // One client takes the only slot and proves it works.
+  auto held = QueryClient::ConnectUnix(options.unix_socket_path);
+  ASSERT_TRUE(held.ok());
+  QueryRequest ping;  // defaults to kPing
+  ASSERT_TRUE(held.value().CallOne(ping).ok());
+
+  // The second connection is accepted just long enough to be told "busy"
+  // — a clean retryable status, not a hang, reset, or protocol error.
+  auto shed = QueryClient::ConnectUnix(options.unix_socket_path);
+  ASSERT_TRUE(shed.ok());
+  auto response = shed.value().CallOne(ping);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable)
+      << response.status().ToString();
+  EXPECT_TRUE(IsRetryableStatus(response.status()));
+  EXPECT_GE(server.value()->stats().connections_shed, 1u);
+
+  // Once the slot frees up, a retrying client gets through.
+  held.value().Close();
+  Endpoint endpoint;
+  endpoint.unix_path = options.unix_socket_path;
+  RetryOptions retry;
+  retry.retries = 20;
+  retry.backoff_ms = 20;
+  RetryTelemetry telemetry;
+  auto retried = CallWithRetry(
+      endpoint, std::span<const QueryRequest>(&ping, 1), retry, &telemetry);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_GE(telemetry.attempts, 1u);
+
+  server.value()->Stop();
+  EXPECT_EQ(server.value()->stats().protocol_errors, 0u);
+}
+
+TEST(ServeServer, InflightFrameCapShedsAndRetryRecovers) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("frameshed");
+  options.workers = 2;
+  options.max_inflight_frames = 1;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok());
+
+  // Two clients hammer a slow request (plan frontier) so frames overlap;
+  // with one in-flight slot, the loser of each race gets a busy response
+  // on a connection that stays usable.
+  QueryRequest slow;
+  slow.opcode = Opcode::kPlanFrontier;
+  slow.evaluated_kinds_mask =
+      1u << static_cast<uint8_t>(core::ApiKind::kSyscall);
+  slow.plan_max_actions = 64;
+
+  std::atomic<int> busy_seen{0};
+  std::atomic<int> hard_failures{0};
+  auto hammer = [&] {
+    auto client = QueryClient::ConnectUnix(options.unix_socket_path);
+    if (!client.ok()) {
+      hard_failures.fetch_add(1);
+      return;
+    }
+    for (int i = 0; i < 300 && busy_seen.load() == 0; ++i) {
+      auto response = client.value().CallOne(slow);
+      if (response.ok()) {
+        continue;
+      }
+      if (response.status().code() == StatusCode::kUnavailable) {
+        busy_seen.fetch_add(1);
+        // The shed connection survives: the very next call works (or is
+        // shed again — both are fine, never a hard failure).
+        auto next = client.value().CallOne(slow);
+        if (!next.ok() &&
+            next.status().code() != StatusCode::kUnavailable) {
+          hard_failures.fetch_add(1);
+        }
+        return;
+      }
+      hard_failures.fetch_add(1);
+      return;
+    }
+  };
+  std::thread a(hammer);
+  std::thread b(hammer);
+  a.join();
+  b.join();
+
+  EXPECT_EQ(hard_failures.load(), 0);
+  EXPECT_GT(busy_seen.load(), 0);
+  EXPECT_GT(server.value()->stats().frames_shed, 0u);
+
+  // CallWithRetry absorbs the shedding transparently.
+  Endpoint endpoint;
+  endpoint.unix_path = options.unix_socket_path;
+  RetryOptions retry;
+  retry.retries = 10;
+  retry.backoff_ms = 5;
+  auto retried = CallWithRetry(
+      endpoint, std::span<const QueryRequest>(&slow, 1), retry, nullptr);
+  EXPECT_TRUE(retried.ok()) << retried.status().ToString();
+
+  server.value()->Stop();
+  EXPECT_EQ(server.value()->stats().protocol_errors, 0u);
+}
+
+// ---- CallWithRetry: deadline, backoff, and retryability classification ----
+
+TEST(ClientRetry, TotalDeadlineBoundsTheRetryLoop) {
+  Endpoint endpoint;
+  endpoint.unix_path = TestSocketPath("never_created");
+  RetryOptions options;
+  options.retries = 1000;  // the deadline, not the count, must stop us
+  options.backoff_ms = 20;
+  options.timeout_ms = 250;
+  RetryTelemetry telemetry;
+  QueryRequest ping;
+
+  auto start = std::chrono::steady_clock::now();
+  auto response = CallWithRetry(
+      endpoint, std::span<const QueryRequest>(&ping, 1), options,
+      &telemetry);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  ASSERT_FALSE(response.ok());
+  EXPECT_NE(response.status().ToString().find("deadline exhausted"),
+            std::string::npos)
+      << response.status().ToString();
+  EXPECT_GE(telemetry.attempts, 2u);
+  EXPECT_GT(telemetry.io_failures, 0u);
+  EXPECT_GE(elapsed, 200);
+  EXPECT_LT(elapsed, 5000);  // nowhere near 1000 * backoff
+}
+
+TEST(ClientRetry, NonRetryableErrorReturnsWithoutRetrying) {
+  // A "server" that answers with garbage: the client must classify the
+  // corrupt frame as non-retryable and give up after ONE attempt — retrying
+  // a protocol violation would just hammer a broken peer.
+  std::string path = TestSocketPath("garbage_server");
+  auto listener = ListenUnixSocket(path, 4);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  std::thread garbage_server([fd = listener.value()] {
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      return;
+    }
+    uint8_t sink[512];
+    (void)::read(conn, sink, sizeof sink);
+    uint8_t garbage[kFrameHeaderSize];
+    std::memset(garbage, 0xa5, sizeof garbage);
+    WriteFully(conn, garbage);
+    ::close(conn);
+  });
+
+  Endpoint endpoint;
+  endpoint.unix_path = path;
+  RetryOptions options;
+  options.retries = 5;
+  options.backoff_ms = 10;
+  RetryTelemetry telemetry;
+  QueryRequest ping;
+  auto response = CallWithRetry(
+      endpoint, std::span<const QueryRequest>(&ping, 1), options,
+      &telemetry);
+  ASSERT_FALSE(response.ok());
+  EXPECT_FALSE(IsRetryableStatus(response.status()))
+      << response.status().ToString();
+  EXPECT_EQ(telemetry.attempts, 1u);
+
+  garbage_server.join();
+  ::close(listener.value());
+  unlink(path.c_str());
+}
+
+TEST(ClientRetry, ZeroRetriesBehavesLikePlainCall) {
+  GenerationStore store;
+  store.Publish(SharedSnapshot());
+  ServerOptions options;
+  options.unix_socket_path = TestSocketPath("zeroretry");
+  options.workers = 1;
+  auto server = Server::Start(options, &store);
+  ASSERT_TRUE(server.ok());
+
+  Endpoint endpoint;
+  endpoint.unix_path = options.unix_socket_path;
+  RetryOptions retry;  // retries = 0
+  RetryTelemetry telemetry;
+  auto request = ImportanceRequest("read");
+  auto response = CallWithRetry(
+      endpoint, std::span<const QueryRequest>(&request, 1), retry,
+      &telemetry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response.value().size(), 1u);
+  EXPECT_EQ(response.value()[0].importance.importance,
+            Study().dataset->ApiImportance(core::SyscallApi(0)));
+  EXPECT_EQ(telemetry.attempts, 1u);
+  EXPECT_EQ(telemetry.backoff_waited_ms, 0);
+  server.value()->Stop();
 }
 
 }  // namespace

@@ -160,7 +160,8 @@ bool PrintResponse(const serve::QueryResponse& response) {
       return true;
     case serve::Opcode::kServerInfo:
       std::printf("info\tgen=%llu\thash=%016llx\tpackages=%u\t"
-                  "installs=%llu\tprotocol=v%u\tsource=%s\n",
+                  "installs=%llu\tprotocol=v%u\treload_failures=%llu\t"
+                  "source=%s\n",
                   static_cast<unsigned long long>(response.generation),
                   static_cast<unsigned long long>(
                       response.info.content_hash),
@@ -168,6 +169,8 @@ bool PrintResponse(const serve::QueryResponse& response) {
                   static_cast<unsigned long long>(
                       response.info.total_installations),
                   response.info.protocol_version,
+                  static_cast<unsigned long long>(
+                      response.info.reload_failures),
                   response.info.source.c_str());
       return true;
     case serve::Opcode::kImportance:
@@ -254,8 +257,15 @@ int main(int argc, char** argv) {
                   "comma-separated already-supported names for "
                   "--top/--plan");
   flags.AddInt("timeout-ms", 0,
-               "connect/read/write deadline in milliseconds (0 = wait "
-               "forever); expiry exits 2 with a timeout message");
+               "TOTAL deadline in milliseconds across connects, calls, and "
+               "retry backoff (0 = wait forever); expiry exits 2 with a "
+               "timeout message");
+  flags.AddInt("retries", 0,
+               "additional attempts after a retryable failure (server busy, "
+               "connect refused/reset); each retry reconnects");
+  flags.AddInt("backoff-ms", 100,
+               "initial retry backoff; doubles per retry with jitter, "
+               "capped by the --timeout-ms deadline");
   flags.AddString("batch-file", "",
                   "file of requests (one per line) sent in the same frame");
   flags.AddBool("version", false,
@@ -362,20 +372,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const int timeout_ms = static_cast<int>(flags.GetInt("timeout-ms"));
-  Result<serve::QueryClient> client =
-      !flags.GetString("socket").empty()
-          ? serve::QueryClient::ConnectUnix(flags.GetString("socket"),
-                                            timeout_ms)
-          : serve::QueryClient::ConnectTcp(
-                flags.GetString("host"),
-                static_cast<uint16_t>(flags.GetInt("port")), timeout_ms);
-  if (!client.ok()) {
-    std::fprintf(stderr, "connect failed: %s\n",
-                 client.status().ToString().c_str());
-    return 2;
+  serve::Endpoint endpoint;
+  endpoint.unix_path = flags.GetString("socket");
+  endpoint.host = flags.GetString("host");
+  endpoint.port = static_cast<uint16_t>(flags.GetInt("port"));
+  serve::RetryOptions retry;
+  retry.timeout_ms = static_cast<int>(flags.GetInt("timeout-ms"));
+  retry.retries = static_cast<int>(flags.GetInt("retries"));
+  retry.backoff_ms = static_cast<int>(flags.GetInt("backoff-ms"));
+  serve::RetryTelemetry telemetry;
+  auto responses = serve::CallWithRetry(endpoint, batch, retry, &telemetry);
+  if (telemetry.attempts > 1) {
+    std::fprintf(stderr,
+                 "lapis_query: %u attempts (%u busy, %u transport "
+                 "failures), %lld ms backed off\n",
+                 telemetry.attempts, telemetry.busy_responses,
+                 telemetry.io_failures,
+                 static_cast<long long>(telemetry.backoff_waited_ms));
   }
-  auto responses = client.value().Call(batch);
   if (!responses.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  responses.status().ToString().c_str());

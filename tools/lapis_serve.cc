@@ -73,6 +73,12 @@ int main(int argc, char** argv) {
   flags.AddInt("workers", 0,
                "connection worker threads (0 = all cores); at most this "
                "many connections are served concurrently");
+  flags.AddInt("max-connections", 0,
+               "overload shedding: connections accepted past this cap get "
+               "one retryable busy frame and are closed (0 = uncapped)");
+  flags.AddInt("max-inflight", 0,
+               "overload shedding: frames arriving while this many are "
+               "executing are answered busy (0 = uncapped)");
   flags.AddBool("version", false,
                 "print protocol/schema versions and exit");
   auto status = flags.Parse(argc - 1, argv + 1);
@@ -139,6 +145,10 @@ int main(int argc, char** argv) {
   options.tcp_host = flags.GetString("host");
   options.tcp_port = static_cast<uint16_t>(flags.GetInt("port"));
   options.workers = static_cast<size_t>(flags.GetInt("workers"));
+  options.max_connections =
+      static_cast<size_t>(flags.GetInt("max-connections"));
+  options.max_inflight_frames =
+      static_cast<size_t>(flags.GetInt("max-inflight"));
   auto server = serve::Server::Start(options, &store);
   if (!server.ok()) {
     std::fprintf(stderr, "lapis_serve: %s\n",
@@ -161,14 +171,22 @@ int main(int argc, char** argv) {
                      "lapis_serve: SIGHUP ignored (no --artifact to "
                      "reload)\n");
       } else {
-        auto reloaded = serve::Snapshot::FromFile(artifact);
+        // PublishFromFile keeps the old generation live and counts the
+        // failure (served in `info` as reload_failures) on any load error.
+        auto reloaded = store.PublishFromFile(artifact);
         if (!reloaded.ok()) {
           std::fprintf(stderr,
                        "lapis_serve: reload failed, keeping current "
-                       "generation: %s\n",
+                       "generation (%llu rejected reloads so far): %s\n",
+                       static_cast<unsigned long long>(
+                           store.reload_failures()),
                        reloaded.status().ToString().c_str());
         } else {
-          PublishSnapshot(store, reloaded.take());
+          std::printf(
+              "lapis_serve: generation %llu published (reloaded %s)\n",
+              static_cast<unsigned long long>(reloaded.value()),
+              artifact.c_str());
+          std::fflush(stdout);
         }
       }
     }
@@ -178,10 +196,14 @@ int main(int argc, char** argv) {
   server.value()->Stop();
   auto stats = server.value()->stats();
   std::printf("lapis_serve: shut down after %llu connections, %llu frames, "
-              "%llu requests, %llu protocol errors\n",
+              "%llu requests, %llu protocol errors, %llu connections shed, "
+              "%llu frames shed, %llu reload failures\n",
               static_cast<unsigned long long>(stats.connections_accepted),
               static_cast<unsigned long long>(stats.frames_served),
               static_cast<unsigned long long>(stats.requests_served),
-              static_cast<unsigned long long>(stats.protocol_errors));
+              static_cast<unsigned long long>(stats.protocol_errors),
+              static_cast<unsigned long long>(stats.connections_shed),
+              static_cast<unsigned long long>(stats.frames_shed),
+              static_cast<unsigned long long>(stats.reload_failures));
   return 0;
 }

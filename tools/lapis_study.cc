@@ -259,6 +259,15 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(cs.bytes_read / 1024),
           static_cast<unsigned long long>(cs.bytes_written / 1024),
           static_cast<unsigned long long>(cs.corrupt_entries_dropped));
+      if (cs.truncated_tails > 0 || cs.open_failures > 0 ||
+          cs.quarantined_shards > 0) {
+        std::printf(
+            "cache recovery: %llu truncated tails, %llu shard open "
+            "failures, %llu shards quarantined (memory-only)\n",
+            static_cast<unsigned long long>(cs.truncated_tails),
+            static_cast<unsigned long long>(cs.open_failures),
+            static_cast<unsigned long long>(cs.quarantined_shards));
+      }
     }
     if (!flags.GetString("save").empty()) {
       auto save = corpus::SaveStudy(study.value(), flags.GetString("save"));
